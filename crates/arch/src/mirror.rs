@@ -1,0 +1,170 @@
+//! Orientation transforms for intra-page mappings.
+//!
+//! When the PageMaster transformation relocates a page, the intra-page PE
+//! mapping must sometimes be *mirrored* so that inter-page producer/consumer
+//! PEs still line up across the shared mesh edge (paper, Fig. 6: "the
+//! mapping of Page1 must be mirrored along the horizontal axis ... Page2 is
+//! mirrored along the vertical axis"). The transforms that preserve an
+//! `h × w` rectangle are the Klein four-group {identity, horizontal mirror,
+//! vertical mirror, 180° rotation}.
+
+use crate::topology::Pos;
+use serde::{Deserialize, Serialize};
+
+/// An orientation-preserving-or-mirroring transform of an `h × w` page.
+///
+/// Mirror axes follow the paper's wording: `MirrorH` mirrors *along the
+/// horizontal axis* (flips rows, top↔bottom); `MirrorV` mirrors along the
+/// vertical axis (flips columns, left↔right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Leave the mapping unchanged.
+    #[default]
+    Identity,
+    /// Flip top↔bottom (mirror along the horizontal axis).
+    MirrorH,
+    /// Flip left↔right (mirror along the vertical axis).
+    MirrorV,
+    /// Flip both: 180° rotation.
+    Rot180,
+}
+
+impl Orientation {
+    /// All four orientations, Identity first.
+    pub const ALL: [Orientation; 4] = [
+        Orientation::Identity,
+        Orientation::MirrorH,
+        Orientation::MirrorV,
+        Orientation::Rot180,
+    ];
+
+    /// Apply the transform to an intra-page coordinate in an `h × w` page.
+    ///
+    /// # Panics
+    /// Panics if `p` lies outside the page.
+    pub fn apply(self, p: Pos, h: u16, w: u16) -> Pos {
+        assert!(p.r < h && p.c < w, "intra-page position {p} outside {h}x{w} page");
+        match self {
+            Orientation::Identity => p,
+            Orientation::MirrorH => Pos::new(h - 1 - p.r, p.c),
+            Orientation::MirrorV => Pos::new(p.r, w - 1 - p.c),
+            Orientation::Rot180 => Pos::new(h - 1 - p.r, w - 1 - p.c),
+        }
+    }
+
+    /// Group composition: `self.then(other)` applies `self` first, then
+    /// `other`.
+    pub fn then(self, other: Orientation) -> Orientation {
+        use Orientation::*;
+        match (self, other) {
+            (Identity, o) | (o, Identity) => o,
+            (a, b) if a == b => Identity,
+            (MirrorH, MirrorV) | (MirrorV, MirrorH) => Rot180,
+            (MirrorH, Rot180) | (Rot180, MirrorH) => MirrorV,
+            (MirrorV, Rot180) | (Rot180, MirrorV) => MirrorH,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The inverse transform (every element of the Klein group is its own
+    /// inverse).
+    pub fn inverse(self) -> Orientation {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_fixes_everything() {
+        for r in 0..2 {
+            for c in 0..2 {
+                let p = Pos::new(r, c);
+                assert_eq!(Orientation::Identity.apply(p, 2, 2), p);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_h_flips_rows() {
+        assert_eq!(
+            Orientation::MirrorH.apply(Pos::new(0, 1), 2, 2),
+            Pos::new(1, 1)
+        );
+    }
+
+    #[test]
+    fn mirror_v_flips_cols() {
+        assert_eq!(
+            Orientation::MirrorV.apply(Pos::new(0, 0), 2, 2),
+            Pos::new(0, 1)
+        );
+    }
+
+    #[test]
+    fn rot180_is_both_mirrors() {
+        let p = Pos::new(0, 1);
+        let via_compose = Orientation::MirrorH.apply(Orientation::MirrorV.apply(p, 2, 2), 2, 2);
+        assert_eq!(Orientation::Rot180.apply(p, 2, 2), via_compose);
+    }
+
+    #[test]
+    fn every_element_is_an_involution() {
+        for o in Orientation::ALL {
+            for r in 0..3 {
+                for c in 0..4 {
+                    let p = Pos::new(r, c);
+                    assert_eq!(o.apply(o.apply(p, 3, 4), 3, 4), p, "{o:?} not involutive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_table_matches_pointwise_action() {
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let composed = a.then(b);
+                for r in 0..3 {
+                    for c in 0..5 {
+                        let p = Pos::new(r, c);
+                        assert_eq!(
+                            composed.apply(p, 3, 5),
+                            b.apply(a.apply(p, 3, 5), 3, 5),
+                            "{a:?} then {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_is_closed_and_has_identity() {
+        for a in Orientation::ALL {
+            assert_eq!(a.then(a.inverse()), Orientation::Identity);
+            assert_eq!(a.then(Orientation::Identity), a);
+        }
+    }
+
+    #[test]
+    fn non_square_page_mirrors() {
+        // 1x2 page: only MirrorV moves anything.
+        assert_eq!(
+            Orientation::MirrorV.apply(Pos::new(0, 0), 1, 2),
+            Pos::new(0, 1)
+        );
+        assert_eq!(
+            Orientation::MirrorH.apply(Pos::new(0, 0), 1, 2),
+            Pos::new(0, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_page_position_panics() {
+        Orientation::Identity.apply(Pos::new(2, 0), 2, 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! The PE mesh: identifiers, coordinates, and adjacency.
+//!
+//! PEs are numbered row-major. The interconnect is the standard 2-D mesh
+//! used by MorphoSys/ADRES-style fabrics: every PE can read the
+//! previous-cycle output of its north/south/east/west neighbour.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processing element, row-major within its mesh.
+///
+/// A `PeId` is only meaningful relative to a [`Mesh`]; use
+/// [`Mesh::pos`]/[`Mesh::pe`] to convert to and from coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeId(pub u16);
+
+impl PeId {
+    /// The raw index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A (row, column) position in the mesh. Row 0 is the top row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pos {
+    /// Row index, 0 at the top.
+    pub r: u16,
+    /// Column index, 0 at the left.
+    pub c: u16,
+}
+
+impl Pos {
+    /// Construct a position.
+    #[inline]
+    pub const fn new(r: u16, c: u16) -> Self {
+        Pos { r, c }
+    }
+
+    /// Manhattan distance to another position.
+    #[inline]
+    pub fn manhattan(self, other: Pos) -> u32 {
+        self.r.abs_diff(other.r) as u32 + self.c.abs_diff(other.c) as u32
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.r, self.c)
+    }
+}
+
+/// A rectangular 2-D mesh of PEs with 4-neighbour (NSEW) interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    rows: u16,
+    cols: u16,
+}
+
+impl Mesh {
+    /// Create an `rows × cols` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or the PE count exceeds `u16`.
+    pub fn new(rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be non-zero");
+        assert!(
+            (rows as u32) * (cols as u32) <= u16::MAX as u32,
+            "mesh too large for PeId"
+        );
+        Mesh { rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Total number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Whether a position lies inside the mesh.
+    #[inline]
+    pub fn contains(&self, p: Pos) -> bool {
+        p.r < self.rows && p.c < self.cols
+    }
+
+    /// The coordinates of a PE.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range for this mesh.
+    #[inline]
+    pub fn pos(&self, pe: PeId) -> Pos {
+        assert!(pe.index() < self.num_pes(), "{pe} out of range");
+        Pos::new(pe.0 / self.cols, pe.0 % self.cols)
+    }
+
+    /// The PE at a position.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the mesh.
+    #[inline]
+    pub fn pe(&self, p: Pos) -> PeId {
+        assert!(self.contains(p), "position {p} outside mesh");
+        PeId(p.r * self.cols + p.c)
+    }
+
+    /// Iterate over all PEs in row-major order.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.num_pes() as u16).map(PeId)
+    }
+
+    /// The NSEW neighbours of a PE (2, 3 or 4 of them).
+    pub fn neighbors(&self, pe: PeId) -> impl Iterator<Item = PeId> + '_ {
+        let p = self.pos(pe);
+        let candidates = [
+            (p.r.wrapping_sub(1), p.c),
+            (p.r + 1, p.c),
+            (p.r, p.c.wrapping_sub(1)),
+            (p.r, p.c + 1),
+        ];
+        let mesh = *self;
+        candidates
+            .into_iter()
+            .filter(move |&(r, c)| r < mesh.rows && c < mesh.cols)
+            .map(move |(r, c)| mesh.pe(Pos::new(r, c)))
+    }
+
+    /// Whether two PEs are mesh-adjacent (share an interconnect link).
+    #[inline]
+    pub fn adjacent(&self, a: PeId, b: PeId) -> bool {
+        self.pos(a).manhattan(self.pos(b)) == 1
+    }
+
+    /// Manhattan hop distance between two PEs — the minimum number of
+    /// interconnect traversals to move a value from `a` to `b`.
+    #[inline]
+    pub fn distance(&self, a: PeId, b: PeId) -> u32 {
+        self.pos(a).manhattan(self.pos(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pe_pos() {
+        let m = Mesh::new(4, 4);
+        for pe in m.pes() {
+            assert_eq!(m.pe(m.pos(pe)), pe);
+        }
+    }
+
+    #[test]
+    fn corner_has_two_neighbors() {
+        let m = Mesh::new(4, 4);
+        let corner = m.pe(Pos::new(0, 0));
+        assert_eq!(m.neighbors(corner).count(), 2);
+    }
+
+    #[test]
+    fn edge_has_three_neighbors() {
+        let m = Mesh::new(4, 4);
+        let edge = m.pe(Pos::new(0, 2));
+        assert_eq!(m.neighbors(edge).count(), 3);
+    }
+
+    #[test]
+    fn interior_has_four_neighbors() {
+        let m = Mesh::new(4, 4);
+        let mid = m.pe(Pos::new(1, 1));
+        assert_eq!(m.neighbors(mid).count(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let m = Mesh::new(3, 5);
+        for a in m.pes() {
+            for b in m.pes() {
+                assert_eq!(m.adjacent(a, b), m.adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_distance_one() {
+        let m = Mesh::new(6, 6);
+        for pe in m.pes() {
+            for n in m.neighbors(pe) {
+                assert!(m.adjacent(pe, n));
+                assert_eq!(m.distance(pe, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matches_manhattan() {
+        let m = Mesh::new(8, 8);
+        let a = m.pe(Pos::new(0, 0));
+        let b = m.pe(Pos::new(7, 7));
+        assert_eq!(m.distance(a, b), 14);
+        assert_eq!(m.distance(a, a), 0);
+    }
+
+    #[test]
+    fn non_square_mesh() {
+        let m = Mesh::new(2, 8);
+        assert_eq!(m.num_pes(), 16);
+        assert_eq!(m.pos(PeId(9)), Pos::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pe_panics() {
+        let m = Mesh::new(2, 2);
+        m.pos(PeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        Mesh::new(0, 4);
+    }
+}

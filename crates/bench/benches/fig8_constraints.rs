@@ -1,0 +1,37 @@
+//! Figure 8 — regenerates the constraint-cost table, then times the
+//! underlying sweep.
+//!
+//! `cargo bench -p cgra-bench --bench fig8_constraints` prints the same
+//! rows the paper's Fig. 8 plots (performance % per kernel per page size)
+//! before running the criterion timing of one sub-figure sweep.
+
+use cgra_bench::fig8;
+use criterion::{criterion_group, Criterion};
+
+fn print_figure() {
+    let points = fig8::run_all();
+    for &(dim, _) in &cgra_bench::GRID {
+        println!("\n## Figure 8 — {dim}x{dim} CGRA (100% = identical to baseline)\n");
+        println!("{}", fig8::render(&points, dim));
+    }
+    println!("## Geometric means\n");
+    for (dim, size, gm) in fig8::summary(&points) {
+        println!("{dim}x{dim}  page {size:>2}: {gm:6.1}%");
+    }
+    println!();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("sweep_4x4_page4", |b| b.iter(|| fig8::run_config(4, 4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

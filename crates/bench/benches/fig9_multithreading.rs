@@ -1,0 +1,64 @@
+//! Figure 9 — regenerates the multithreading-improvement table for the
+//! 6x6 CGRA, then times the simulators.
+//!
+//! `cargo bench -p cgra-bench --bench fig9_multithreading` prints the
+//! Fig. 9(b)-style series before running criterion timings of one
+//! baseline and one multithreaded simulation.
+
+use cgra_bench::fig9::{self, Fig9Params};
+use cgra_bench::libcache::LibCache;
+use cgra_sim::{
+    generate, simulate_baseline, simulate_multithreaded, CgraNeed, MtConfig, WorkloadParams,
+};
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+fn print_figure(cache: &LibCache) {
+    let params = Fig9Params {
+        seeds: 3,
+        ..Default::default()
+    };
+    let mut points = Vec::new();
+    for &s in &[2usize, 4, 9] {
+        for need in CgraNeed::ALL {
+            for &t in &cgra_bench::THREAD_COUNTS {
+                points.push(fig9::run_point(cache, 6, s, need, t, &params));
+            }
+        }
+    }
+    println!("\n## Figure 9(b) — 6x6 CGRA, improvement over single-threaded baseline\n");
+    println!("{}", fig9::render(&points, 6));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cache = LibCache::new();
+    let lib = cache.get(6, 4);
+    let workload = generate(
+        &lib,
+        &WorkloadParams {
+            threads: 8,
+            need: CgraNeed::High,
+            work_per_thread: 60_000,
+            bursts: 4,
+            seed: 3,
+        },
+    );
+    let mut g = c.benchmark_group("fig9_simulators");
+    g.bench_function("baseline_8threads_6x6", |b| {
+        b.iter(|| simulate_baseline(black_box(&lib), black_box(&workload)))
+    });
+    g.bench_function("multithreaded_8threads_6x6", |b| {
+        b.iter(|| {
+            simulate_multithreaded(black_box(&lib), black_box(&workload), MtConfig::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+
+fn main() {
+    print_figure(&LibCache::new());
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

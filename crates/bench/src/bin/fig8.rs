@@ -1,0 +1,55 @@
+//! Regenerate Figure 8: performance difference caused by the paging
+//! constraints, per CGRA size and page size.
+//!
+//! Usage: `cargo run -p cgra-bench --bin fig8 --release [-- --csv]`
+
+use cgra_bench::fig8;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    if std::env::args().any(|a| a == "--strict") {
+        println!("## Ablation — strict 1-step discipline vs stable-column (4x4, page 4)\n");
+        println!("kernel    II(stable)  II(strict)");
+        for (name, stable, strict) in fig8::strict_ablation(4, 4) {
+            println!(
+                "{name:>8}  {stable:>10}  {}",
+                strict.map(|x| x.to_string()).unwrap_or_else(|| "unmappable".into())
+            );
+        }
+        return;
+    }
+    let points = fig8::run_all();
+
+    if csv {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dim.to_string(),
+                    p.page_size.to_string(),
+                    p.kernel.clone(),
+                    p.ii_baseline.to_string(),
+                    p.ii_constrained.to_string(),
+                    format!("{:.1}", p.performance_pct()),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            cgra_bench::table::csv(
+                &["dim", "page_size", "kernel", "ii_baseline", "ii_constrained", "perf_pct"],
+                &rows
+            )
+        );
+        return;
+    }
+
+    for &(dim, _) in &cgra_bench::GRID {
+        println!("## Figure 8 — {dim}x{dim} CGRA (100% = identical to baseline)\n");
+        println!("{}", fig8::render(&points, dim));
+    }
+    println!("## Geometric-mean performance per configuration\n");
+    for (dim, size, gm) in fig8::summary(&points) {
+        println!("{dim}x{dim}  page {size:>2}: {gm:6.1}%");
+    }
+}

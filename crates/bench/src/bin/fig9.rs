@@ -1,0 +1,67 @@
+//! Regenerate Figure 9: performance improvement from multithreading
+//! support, per CGRA size, page size, CGRA need and thread count.
+//!
+//! Usage:
+//!   cargo run -p cgra-bench --bin fig9 --release
+//!   cargo run -p cgra-bench --bin fig9 --release -- --csv
+//!   cargo run -p cgra-bench --bin fig9 --release -- --ablation-overhead
+//!   cargo run -p cgra-bench --bin fig9 --release -- --ablation-policy
+
+use cgra_bench::fig9::{self, Fig9Params};
+use cgra_bench::libcache::LibCache;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cache = LibCache::new();
+
+    if args.iter().any(|a| a == "--ablation-overhead") {
+        println!("## Ablation A1 — switch-transformation overhead (8x8, page 4, 8 threads, need 87.5%)\n");
+        println!("overhead_cycles, improvement_pct");
+        for (overhead, imp) in fig9::ablation_overhead(&cache, 8, 4) {
+            println!("{overhead:>8}, {imp:+.1}%");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--ablation-policy") {
+        println!("## Ablation A2 — expansion policy (8x8, page 4, 8 threads, need 87.5%)\n");
+        for (name, imp) in fig9::ablation_policy(&cache, 8, 4) {
+            println!("{name:>16}: {imp:+.1}%");
+        }
+        return;
+    }
+
+    let points = fig9::run_all(&cache, &Fig9Params::default());
+
+    if args.iter().any(|a| a == "--csv") {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dim.to_string(),
+                    p.page_size.to_string(),
+                    p.need.label().to_string(),
+                    p.threads.to_string(),
+                    format!("{:.2}", p.improvement_pct),
+                    format!("{:.1}", p.mean_shrinks),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            cgra_bench::table::csv(
+                &["dim", "page_size", "need", "threads", "improvement_pct", "mean_shrinks"],
+                &rows
+            )
+        );
+        return;
+    }
+
+    for &(dim, _) in &cgra_bench::GRID {
+        println!("## Figure 9 — {dim}x{dim} CGRA (improvement over single-threaded baseline)\n");
+        println!("{}", fig9::render(&points, dim));
+    }
+    println!("## Headline (paper: >30% on 4x4, >75% on 6x6, >150% on 8x8)\n");
+    for (dim, best) in fig9::headline(&points) {
+        println!("{dim}x{dim}: best improvement at 16 threads = {best:+.1}%");
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 8 — performance impact of the paging constraints.
+//!
+//! "We first take a set of benchmarks and map them to a CGRA using an
+//! unmodified compiler to determine a baseline II_b. We then modify the
+//! compiler to follow our compile time constraints and compare this II to
+//! the baseline II_b." Performance = `100 · II_b / II_c` (%); 100 means
+//! identical performance, below 100 is a slowdown.
+
+use crate::libcache::cgra;
+use cgra_mapper::{map_baseline, map_constrained, map_constrained_strict, MapOptions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Point {
+    /// CGRA dimension (4, 6 or 8).
+    pub dim: u16,
+    /// Page size in PEs.
+    pub page_size: usize,
+    /// Kernel name.
+    pub kernel: String,
+    /// Unconstrained (baseline) II.
+    pub ii_baseline: u32,
+    /// Paging-constrained II.
+    pub ii_constrained: u32,
+}
+
+impl Fig8Point {
+    /// `100 · II_b / II_c` — the y-axis of Fig. 8.
+    pub fn performance_pct(&self) -> f64 {
+        100.0 * self.ii_baseline as f64 / self.ii_constrained as f64
+    }
+}
+
+/// Run the Fig. 8 sweep for one `(dim, page_size)` sub-figure.
+pub fn run_config(dim: u16, page_size: usize) -> Vec<Fig8Point> {
+    let fabric = cgra(dim, page_size);
+    let opts = MapOptions::default();
+    cgra_dfg::kernels::all()
+        .par_iter()
+        .map(|k| {
+            let base = map_baseline(k, &fabric, &opts)
+                .unwrap_or_else(|e| panic!("baseline {}: {e}", k.name));
+            let cons = map_constrained(k, &fabric, &opts)
+                .unwrap_or_else(|e| panic!("constrained {}: {e}", k.name));
+            Fig8Point {
+                dim,
+                page_size,
+                kernel: k.name.clone(),
+                ii_baseline: base.ii(),
+                ii_constrained: cons.ii(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: the strict 1-step discipline (Algorithm 1's input form)
+/// against the default stable-column discipline, on one fabric. Returns
+/// `(kernel, ii_stable, Option<ii_strict>)` — `None` when the kernel does
+/// not fit under strict rules.
+pub fn strict_ablation(dim: u16, page_size: usize) -> Vec<(String, u32, Option<u32>)> {
+    let fabric = cgra(dim, page_size);
+    let opts = MapOptions::default();
+    cgra_dfg::kernels::all()
+        .par_iter()
+        .map(|k| {
+            let stable = map_constrained(k, &fabric, &opts)
+                .unwrap_or_else(|e| panic!("stable {}: {e}", k.name));
+            let strict = map_constrained_strict(k, &fabric, &opts).ok();
+            (k.name.clone(), stable.ii(), strict.map(|r| r.ii()))
+        })
+        .collect()
+}
+
+/// Run the complete Fig. 8 grid (all sub-figures).
+pub fn run_all() -> Vec<Fig8Point> {
+    let configs: Vec<(u16, usize)> = crate::GRID
+        .iter()
+        .flat_map(|&(dim, sizes)| sizes.iter().map(move |&s| (dim, s)))
+        .collect();
+    configs
+        .par_iter()
+        .flat_map(|&(dim, s)| run_config(dim, s))
+        .collect()
+}
+
+/// Geometric-mean performance per `(dim, page_size)` — the summary rows
+/// EXPERIMENTS.md tracks.
+pub fn summary(points: &[Fig8Point]) -> Vec<(u16, usize, f64)> {
+    let mut keys: Vec<(u16, usize)> = points.iter().map(|p| (p.dim, p.page_size)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.into_iter()
+        .map(|(dim, s)| {
+            let perf: Vec<f64> = points
+                .iter()
+                .filter(|p| p.dim == dim && p.page_size == s)
+                .map(|p| p.performance_pct())
+                .collect();
+            let gm = (perf.iter().map(|x| x.ln()).sum::<f64>() / perf.len() as f64).exp();
+            (dim, s, gm)
+        })
+        .collect()
+}
+
+/// Render one sub-figure as a table (kernels × performance%).
+pub fn render(points: &[Fig8Point], dim: u16) -> String {
+    let sizes: Vec<usize> = {
+        let mut v: Vec<usize> = points
+            .iter()
+            .filter(|p| p.dim == dim)
+            .map(|p| p.page_size)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut headers = vec!["kernel".to_string()];
+    for s in &sizes {
+        headers.push(format!("page {s} perf%"));
+        headers.push(format!("II {s} (b/c)"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for name in cgra_dfg::kernels::NAMES {
+        let mut row = vec![name.to_string()];
+        for &s in &sizes {
+            if let Some(p) = points
+                .iter()
+                .find(|p| p.dim == dim && p.page_size == s && p.kernel == name)
+            {
+                row.push(format!("{:.0}", p.performance_pct()));
+                row.push(format!("{}/{}", p.ii_baseline, p.ii_constrained));
+            } else {
+                row.push("-".into());
+                row.push("-".into());
+            }
+        }
+        rows.push(row);
+    }
+    crate::table::markdown(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_4x4_page4_shape() {
+        let points = run_config(4, 4);
+        assert_eq!(points.len(), 11);
+        for p in &points {
+            assert!(p.ii_constrained >= p.ii_baseline, "{}", p.kernel);
+            assert!(p.performance_pct() <= 100.0 + 1e-9);
+            assert!(p.performance_pct() >= 25.0, "{} too degraded", p.kernel);
+        }
+    }
+
+    #[test]
+    fn larger_pages_do_not_hurt() {
+        // Page size 8 on the 4x4 (2 pages) should be nearly lossless.
+        let p8 = run_config(4, 8);
+        let gm = summary(&p8)[0].2;
+        assert!(gm > 85.0, "geomean {gm:.1}% at page size 8");
+    }
+
+    #[test]
+    fn render_contains_all_kernels() {
+        let points = run_config(4, 4);
+        let s = render(&points, 4);
+        for name in cgra_dfg::kernels::NAMES {
+            assert!(s.contains(name));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Figure 9 — system-level throughput improvement from multithreading.
+//!
+//! For each CGRA size, page size, CGRA need (50/75/87.5 %), and thread
+//! count (1–16), simulate the same randomly generated workload on the
+//! single-threaded FCFS baseline and on the multithreaded page-multiplexed
+//! CGRA, and report the percentage improvement in completion time,
+//! averaged over seeds.
+
+use crate::libcache::LibCache;
+use cgra_sim::{
+    generate, improvement_percent, simulate_baseline, simulate_multithreaded, CgraNeed,
+    ExpandPolicy, MtConfig, WorkloadParams,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 9 (mean over seeds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Point {
+    /// CGRA dimension.
+    pub dim: u16,
+    /// Page size in PEs.
+    pub page_size: usize,
+    /// CGRA need operating point.
+    pub need: CgraNeed,
+    /// Number of threads.
+    pub threads: usize,
+    /// Mean improvement % over the baseline system.
+    pub improvement_pct: f64,
+    /// Mean shrink transformations per run.
+    pub mean_shrinks: f64,
+    /// Mean baseline makespan (cycles).
+    pub base_makespan: f64,
+    /// Mean multithreaded makespan (cycles).
+    pub mt_makespan: f64,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Params {
+    /// Seeds averaged per point.
+    pub seeds: u64,
+    /// Nominal work per thread in cycles.
+    pub work_per_thread: u64,
+    /// CGRA bursts per thread.
+    pub bursts: usize,
+    /// Multithreaded-system knobs.
+    pub mt: MtConfig,
+}
+
+impl Default for Fig9Params {
+    fn default() -> Self {
+        Fig9Params {
+            seeds: crate::DEFAULT_SEEDS,
+            work_per_thread: 60_000,
+            bursts: 4,
+            mt: MtConfig::default(),
+        }
+    }
+}
+
+/// Measure one Fig. 9 point.
+pub fn run_point(
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    need: CgraNeed,
+    threads: usize,
+    params: &Fig9Params,
+) -> Fig9Point {
+    let lib = cache.get(dim, page_size);
+    let mut improvements = Vec::with_capacity(params.seeds as usize);
+    let mut shrinks = 0.0;
+    let mut base_total = 0.0;
+    let mut mt_total = 0.0;
+    for seed in 0..params.seeds {
+        let workload = generate(
+            &lib,
+            &WorkloadParams {
+                threads,
+                need,
+                work_per_thread: params.work_per_thread,
+                bursts: params.bursts,
+                seed: seed * 1000 + threads as u64 * 31 + dim as u64,
+            },
+        );
+        let base = simulate_baseline(&lib, &workload);
+        let mt = simulate_multithreaded(&lib, &workload, params.mt);
+        improvements.push(improvement_percent(base.makespan, mt.makespan));
+        shrinks += mt.shrinks as f64;
+        base_total += base.makespan as f64;
+        mt_total += mt.makespan as f64;
+    }
+    let n = params.seeds as f64;
+    Fig9Point {
+        dim,
+        page_size,
+        need,
+        threads,
+        improvement_pct: improvements.iter().sum::<f64>() / n,
+        mean_shrinks: shrinks / n,
+        base_makespan: base_total / n,
+        mt_makespan: mt_total / n,
+    }
+}
+
+/// Run the full Fig. 9 grid.
+pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+    let mut points: Vec<(u16, usize, CgraNeed, usize)> = Vec::new();
+    for &(dim, sizes) in &crate::GRID {
+        for &s in sizes {
+            for need in CgraNeed::ALL {
+                for &t in &crate::THREAD_COUNTS {
+                    points.push((dim, s, need, t));
+                }
+            }
+        }
+    }
+    // Warm the library cache serially (avoids duplicate compilations).
+    for &(dim, sizes) in &crate::GRID {
+        for &s in sizes {
+            cache.get(dim, s);
+        }
+    }
+    points
+        .par_iter()
+        .map(|&(dim, s, need, t)| run_point(cache, dim, s, need, t, params))
+        .collect()
+}
+
+/// Render one sub-figure (one CGRA size): rows = thread counts × needs.
+pub fn render(points: &[Fig9Point], dim: u16) -> String {
+    let sizes: Vec<usize> = {
+        let mut v: Vec<usize> = points
+            .iter()
+            .filter(|p| p.dim == dim)
+            .map(|p| p.page_size)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut headers: Vec<String> = vec!["threads".into(), "need".into()];
+    for s in &sizes {
+        headers.push(format!("page {s}: improv%"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for &t in &crate::THREAD_COUNTS {
+        for need in CgraNeed::ALL {
+            let mut row = vec![t.to_string(), need.label().to_string()];
+            for &s in &sizes {
+                match points.iter().find(|p| {
+                    p.dim == dim && p.page_size == s && p.need == need && p.threads == t
+                }) {
+                    Some(p) => row.push(format!("{:+.1}", p.improvement_pct)),
+                    None => row.push("-".into()),
+                }
+            }
+            rows.push(row);
+        }
+    }
+    crate::table::markdown(&header_refs, &rows)
+}
+
+/// The headline averages: mean improvement per CGRA size at the highest
+/// contention (16 threads, all needs, best page size), which the abstract
+/// summarises as "over 30%, 75%, and 150% on 4x4, 6x6, and 8x8".
+pub fn headline(points: &[Fig9Point]) -> Vec<(u16, f64)> {
+    [4u16, 6, 8]
+        .iter()
+        .map(|&dim| {
+            let best = points
+                .iter()
+                .filter(|p| p.dim == dim && p.threads == 16)
+                .map(|p| p.improvement_pct)
+                .fold(f64::MIN, f64::max);
+            (dim, best)
+        })
+        .collect()
+}
+
+/// Ablation A1: improvement vs switch-transformation overhead.
+pub fn ablation_overhead(cache: &LibCache, dim: u16, page_size: usize) -> Vec<(u64, f64)> {
+    [0u64, 10, 100, 1_000, 10_000]
+        .iter()
+        .map(|&overhead| {
+            let params = Fig9Params {
+                mt: MtConfig {
+                    switch_overhead: overhead,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params);
+            (overhead, p.improvement_pct)
+        })
+        .collect()
+}
+
+/// Ablation A2: improvement vs expansion policy.
+pub fn ablation_policy(cache: &LibCache, dim: u16, page_size: usize) -> Vec<(String, f64)> {
+    [
+        ("smallest-first", ExpandPolicy::SmallestFirst),
+        ("largest-first", ExpandPolicy::LargestFirst),
+        ("no-expansion", ExpandPolicy::None),
+    ]
+    .iter()
+    .map(|(name, policy)| {
+        let params = Fig9Params {
+            mt: MtConfig {
+                expand: *policy,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params);
+        (name.to_string(), p.improvement_pct)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> Fig9Params {
+        Fig9Params {
+            seeds: 2,
+            work_per_thread: 20_000,
+            bursts: 2,
+            mt: MtConfig::default(),
+        }
+    }
+
+    #[test]
+    fn single_thread_improvement_is_small() {
+        let cache = LibCache::new();
+        let p = run_point(&cache, 4, 4, CgraNeed::High, 1, &quick_params());
+        // One thread cannot benefit; constrained II may even cost a bit.
+        assert!(p.improvement_pct <= 5.0, "{}", p.improvement_pct);
+    }
+
+    #[test]
+    fn contention_brings_improvement_on_8x8() {
+        let cache = LibCache::new();
+        let p = run_point(&cache, 8, 4, CgraNeed::High, 16, &quick_params());
+        assert!(p.improvement_pct > 50.0, "got {:.1}%", p.improvement_pct);
+    }
+
+    #[test]
+    fn improvement_grows_with_array_size() {
+        let cache = LibCache::new();
+        let params = quick_params();
+        let p4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &params);
+        let p8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &params);
+        assert!(
+            p8.improvement_pct > p4.improvement_pct,
+            "8x8 {:.1}% <= 4x4 {:.1}%",
+            p8.improvement_pct,
+            p4.improvement_pct
+        );
+    }
+
+    #[test]
+    fn render_has_all_thread_counts() {
+        let cache = LibCache::new();
+        let pts = vec![run_point(&cache, 4, 4, CgraNeed::Low, 2, &quick_params())];
+        let s = render(&pts, 4);
+        // The measured cell is rendered signed; everything else is "-".
+        assert!(s.contains("50%"));
+        assert!(s.lines().count() > crate::THREAD_COUNTS.len() * CgraNeed::ALL.len());
+    }
+}

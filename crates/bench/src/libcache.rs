@@ -1,0 +1,66 @@
+//! Kernel-library compilation cache.
+//!
+//! Compiling the 11-kernel library (baseline + constrained mappings +
+//! all transforms) takes a second or two per fabric configuration; the
+//! Fig. 9 sweep reuses each library across needs × thread counts × seeds.
+
+use cgra_arch::CgraConfig;
+use cgra_mapper::MapOptions;
+use cgra_sim::KernelLibrary;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build (or panic on mapper failure for) the fabric `dim × dim` with the
+/// given page size.
+pub fn cgra(dim: u16, page_size: usize) -> CgraConfig {
+    CgraConfig::square(dim)
+        .with_page_size(page_size)
+        .unwrap_or_else(|e| panic!("{dim}x{dim} page {page_size}: {e}"))
+}
+
+/// A process-wide cache of compiled kernel libraries keyed by
+/// `(dim, page_size)`.
+#[derive(Default)]
+pub struct LibCache {
+    inner: Mutex<HashMap<(u16, usize), Arc<KernelLibrary>>>,
+}
+
+impl LibCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or compile the library for a configuration.
+    pub fn get(&self, dim: u16, page_size: usize) -> Arc<KernelLibrary> {
+        if let Some(lib) = self.inner.lock().get(&(dim, page_size)) {
+            return lib.clone();
+        }
+        // Compile outside the lock (rayon threads may race; last write
+        // wins, both values identical because compilation is
+        // deterministic).
+        let lib = Arc::new(
+            KernelLibrary::compile_benchmarks(&cgra(dim, page_size), &MapOptions::default())
+                .unwrap_or_else(|e| panic!("library {dim}x{dim}/p{page_size}: {e}")),
+        );
+        self.inner
+            .lock()
+            .entry((dim, page_size))
+            .or_insert(lib)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let cache = LibCache::new();
+        let a = cache.get(4, 4);
+        let b = cache.get(4, 4);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,267 @@
+//! Shrink/expand plans — the output of the PageMaster transformation.
+//!
+//! A [`ShrinkPlan`] reschedules an `N`-page schedule onto `M ≤ N` page
+//! *columns*. It is periodic: the placement pattern repeats every
+//! `period` source iterations, spanning `span` cycles, so the achieved
+//! initiation interval is `span / period` (per source iteration).
+//!
+//! Two strategies:
+//!
+//! * [`Strategy::Block`] — column-stable: page `n` always executes in
+//!   column `snake(n)`; iteration time is sliced into `⌈N/M⌉` rounds.
+//!   Sound for *any* ring-path schedule (including RF parking, i.e. the
+//!   [`Discipline::Stable`](crate::paged::Discipline) schedules the
+//!   default constrained mapper emits), and exactly optimal
+//!   (`II_q = II_p·N/M`) whenever `M` divides `N` — which the paper's
+//!   halving policy guarantees.
+//! * [`Strategy::PageMaster`] — the paper's Algorithm 1: drifting
+//!   placement seeded by the two-hop interleave, packing partial rows as
+//!   tails. Requires canonical 1-step dependences; handles full-ring
+//!   (wrap) schedules; can beat the block bound when `M ∤ N` by packing
+//!   `II_q` toward `⌈N·II_p/M⌉`.
+
+use crate::paged::{Discipline, PagedSchedule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which transformation algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Column-stable block rounds (sound for all disciplines).
+    Block,
+    /// The paper's drifting Algorithm 1 (canonical schedules only).
+    PageMaster,
+    /// PageMaster when the schedule is canonical, otherwise Block.
+    Auto,
+}
+
+/// Placement of one cell within a plan period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellPlacement {
+    /// Target column (0 ≤ col < M).
+    pub col: u16,
+    /// Cycle offset from the period start.
+    pub time: u64,
+}
+
+/// A complete periodic rescheduling of a [`PagedSchedule`] onto `m`
+/// columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShrinkPlan {
+    /// Number of target page columns (M).
+    pub m: u16,
+    /// Source iterations per steady-state period.
+    pub period: u32,
+    /// Cycles per period.
+    pub span: u64,
+    /// Placement of cell `(page, slot)` for each iteration of the period:
+    /// `placements[iter][(page, slot)]`.
+    pub placements: Vec<HashMap<(u16, u32), CellPlacement>>,
+    /// The strategy that produced the plan.
+    pub strategy: Strategy,
+}
+
+impl ShrinkPlan {
+    /// Achieved initiation interval per source iteration (may be
+    /// fractional when the period spans several iterations).
+    pub fn ii_q(&self) -> f64 {
+        self.span as f64 / self.period as f64
+    }
+
+    /// The II rounded up to whole cycles (what a conservative runtime
+    /// would provision).
+    pub fn ii_q_ceil(&self) -> u32 {
+        self.span.div_ceil(self.period as u64) as u32
+    }
+
+    /// Placement of cell `(page, slot)` at absolute source iteration `j`.
+    pub fn at(&self, page: u16, slot: u32, iter: u64) -> CellPlacement {
+        let idx = (iter % self.period as u64) as usize;
+        let rounds = iter / self.period as u64;
+        let c = self.placements[idx][&(page, slot)];
+        CellPlacement {
+            col: c.col,
+            time: c.time + rounds * self.span,
+        }
+    }
+}
+
+/// Why a transformation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// M must satisfy `1 ≤ M`.
+    BadTargetSize {
+        /// The requested M.
+        m: u16,
+    },
+    /// The PageMaster strategy needs canonical 1-step dependences.
+    NeedsCanonical,
+    /// The block strategy cannot realise ring-wrap dependences.
+    WrapUnsupported,
+    /// Algorithm 1 hit a dependency-column distance > 2 (malformed input).
+    DependencyTooFar {
+        /// Producer columns observed.
+        d1: u16,
+        /// Producer columns observed.
+        d2: u16,
+    },
+    /// No steady state emerged within the warm-up budget.
+    NoSteadyState,
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::BadTargetSize { m } => write!(f, "invalid target size M={m}"),
+            TransformError::NeedsCanonical => {
+                write!(f, "PageMaster strategy requires canonical 1-step dependences")
+            }
+            TransformError::WrapUnsupported => {
+                write!(f, "block strategy cannot realise ring-wrap dependences")
+            }
+            TransformError::DependencyTooFar { d1, d2 } => {
+                write!(f, "dependency columns {d1} and {d2} more than two hops apart")
+            }
+            TransformError::NoSteadyState => write!(f, "no steady state within warm-up budget"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// The snake column of page `n` when `N` pages fold onto `M` columns:
+/// block `b = n/M` runs left-to-right when even, right-to-left when odd,
+/// so ring-consecutive pages always land on the same or an adjacent
+/// column.
+pub fn snake_col(n: u16, m: u16) -> u16 {
+    let b = n / m;
+    let r = n % m;
+    if b % 2 == 0 {
+        r
+    } else {
+        m - 1 - r
+    }
+}
+
+/// The column-stable block transform: page `n` executes in column
+/// `snake(n)` during round `n / M` of each slot step.
+///
+/// `II_q = II_p · ⌈N/M⌉`.
+pub fn transform_block(p: &PagedSchedule, m: u16) -> Result<ShrinkPlan, TransformError> {
+    if m == 0 {
+        return Err(TransformError::BadTargetSize { m });
+    }
+    if p.has_wrap_deps() && m < p.num_pages {
+        return Err(TransformError::WrapUnsupported);
+    }
+    let n = p.num_pages;
+    let k = n.div_ceil(m) as u64; // rounds per slot step
+    let span = p.ii as u64 * k;
+    let mut placement = HashMap::with_capacity(n as usize * p.ii as usize);
+    for page in 0..n {
+        for slot in 0..p.ii {
+            placement.insert(
+                (page, slot),
+                CellPlacement {
+                    col: snake_col(page, m),
+                    time: slot as u64 * k + (page / m) as u64,
+                },
+            );
+        }
+    }
+    Ok(ShrinkPlan {
+        m,
+        period: 1,
+        span,
+        placements: vec![placement],
+        strategy: Strategy::Block,
+    })
+}
+
+/// Transform with the requested strategy ([`Strategy::Auto`] picks
+/// PageMaster for canonical schedules, Block otherwise).
+pub fn transform(
+    p: &PagedSchedule,
+    m: u16,
+    strategy: Strategy,
+) -> Result<ShrinkPlan, TransformError> {
+    match strategy {
+        Strategy::Block => transform_block(p, m),
+        Strategy::PageMaster => crate::pagemaster::transform_pagemaster(p, m),
+        Strategy::Auto => {
+            if p.discipline == Discipline::Canonical {
+                crate::pagemaster::transform_pagemaster(p, m)
+                    .or_else(|_| transform_block(p, m))
+            } else {
+                transform_block(p, m)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_is_ring_adjacent() {
+        for m in 1..8u16 {
+            for n in 0..30u16 {
+                let (a, b) = (snake_col(n, m), snake_col(n + 1, m));
+                assert!(
+                    a.abs_diff(b) <= 1,
+                    "pages {n},{} map to columns {a},{b} (m={m})",
+                    n + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_ii_q_matches_formula() {
+        let p = PagedSchedule::synthetic_canonical(8, 3, false);
+        for m in [1u16, 2, 4, 8] {
+            let plan = transform_block(&p, m).unwrap();
+            assert_eq!(plan.ii_q(), 3.0 * (8.0 / m as f64));
+            assert_eq!(plan.period, 1);
+        }
+    }
+
+    #[test]
+    fn block_non_dividing_rounds_up() {
+        let p = PagedSchedule::synthetic_canonical(6, 1, false);
+        let plan = transform_block(&p, 5).unwrap();
+        assert_eq!(plan.ii_q_ceil(), 2); // ceil(6/5) rounds
+    }
+
+    #[test]
+    fn block_rejects_wrap_when_shrinking() {
+        let p = PagedSchedule::synthetic_canonical(4, 1, true);
+        assert!(matches!(
+            transform_block(&p, 2),
+            Err(TransformError::WrapUnsupported)
+        ));
+        // Identity-size transform is fine even with wrap: every page keeps
+        // its own column.
+        assert!(transform_block(&p, 4).is_ok());
+    }
+
+    #[test]
+    fn block_rejects_m_zero() {
+        let p = PagedSchedule::synthetic_canonical(4, 1, false);
+        assert!(matches!(
+            transform_block(&p, 0),
+            Err(TransformError::BadTargetSize { m: 0 })
+        ));
+    }
+
+    #[test]
+    fn plan_extension_is_periodic() {
+        let p = PagedSchedule::synthetic_canonical(4, 2, false);
+        let plan = transform_block(&p, 2).unwrap();
+        let a = plan.at(3, 1, 0);
+        let b = plan.at(3, 1, 5);
+        assert_eq!(a.col, b.col);
+        assert_eq!(b.time - a.time, 5 * plan.span);
+    }
+}

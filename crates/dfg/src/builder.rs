@@ -1,0 +1,149 @@
+//! Fluent, validating construction of [`Dfg`]s.
+
+use crate::graph::{Dfg, Edge, Node, NodeId, OpKind};
+use crate::validate::{validate, ValidationError};
+
+/// Builds a [`Dfg`] incrementally.
+///
+/// ```
+/// use cgra_dfg::{DfgBuilder, OpKind};
+/// let mut b = DfgBuilder::new("axpy");
+/// let x = b.node(OpKind::Load);
+/// let a = b.node(OpKind::Const);
+/// let m = b.node(OpKind::Mul);
+/// let y = b.node(OpKind::Load);
+/// let s = b.node(OpKind::Add);
+/// let st = b.node(OpKind::Store);
+/// b.edge(x, m);
+/// b.edge(a, m);
+/// b.edge(m, s);
+/// b.edge(y, s);
+/// b.edge(s, st);
+/// let dfg = b.build().unwrap();
+/// assert_eq!(dfg.num_nodes(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl DfgBuilder {
+    /// Start building a kernel DFG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add an operation; returns its id.
+    pub fn node(&mut self, op: OpKind) -> NodeId {
+        self.nodes.push(Node { op, label: None });
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Add a labelled operation; returns its id.
+    pub fn labeled(&mut self, op: OpKind, label: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            op,
+            label: Some(label.into()),
+        });
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Add an intra-iteration dependence `src → dst`.
+    pub fn edge(&mut self, src: NodeId, dst: NodeId) {
+        self.edges.push(Edge {
+            src,
+            dst,
+            distance: 0,
+        });
+    }
+
+    /// Add a loop-carried dependence `src → dst` spanning `distance ≥ 1`
+    /// iterations.
+    ///
+    /// # Panics
+    /// Panics if `distance == 0`; use [`DfgBuilder::edge`] for
+    /// intra-iteration dependences.
+    pub fn carried_edge(&mut self, src: NodeId, dst: NodeId, distance: u32) {
+        assert!(distance >= 1, "carried edges need distance >= 1");
+        self.edges.push(Edge { src, dst, distance });
+    }
+
+    /// Convenience: chain a new `op` consuming the outputs of `inputs`,
+    /// returning the new node.
+    pub fn apply(&mut self, op: OpKind, inputs: &[NodeId]) -> NodeId {
+        let n = self.node(op);
+        for &i in inputs {
+            self.edge(i, n);
+        }
+        n
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finish, validating the graph invariants.
+    pub fn build(self) -> Result<Dfg, ValidationError> {
+        let dfg = Dfg::from_parts(self.name, self.nodes, self.edges);
+        validate(&dfg)?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_wires_all_inputs() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.node(OpKind::Load);
+        let y = b.node(OpKind::Load);
+        let s = b.apply(OpKind::Add, &[x, y]);
+        let g = b.build().unwrap();
+        assert_eq!(g.pred_edges(s).count(), 2);
+    }
+
+    #[test]
+    fn labels_are_kept() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.labeled(OpKind::Load, "pixel");
+        let g = b.build().unwrap();
+        assert_eq!(g.node(x).label.as_deref(), Some("pixel"));
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected() {
+        let mut b = DfgBuilder::new("bad");
+        let a = b.node(OpKind::Add);
+        let c = b.node(OpKind::Add);
+        b.edge(a, c);
+        b.edge(c, a);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "distance >= 1")]
+    fn carried_edge_rejects_zero() {
+        let mut b = DfgBuilder::new("bad");
+        let a = b.node(OpKind::Add);
+        b.carried_edge(a, a, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert!(DfgBuilder::new("empty").build().is_err());
+    }
+}

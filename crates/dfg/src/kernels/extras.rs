@@ -1,0 +1,145 @@
+//! Extra kernels beyond the paper's benchmark suite — used to stress the
+//! pipeline on shapes the eleven benchmarks do not cover (deep butterfly
+//! networks, wide reductions, data-dependent selects, long recurrences).
+//! They are *not* part of the Figure 8/9 suites, which stay faithful to
+//! §VII-A.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// 8-point one-dimensional IDCT, butterfly structure: three stages of
+/// paired add/sub with constant multiplies — deep and wide at once
+/// (27 ops, no recurrence).
+pub fn idct8() -> Dfg {
+    let mut b = DfgBuilder::new("idct8");
+    let xs: Vec<_> = (0..8)
+        .map(|i| b.labeled(OpKind::Load, format!("x{i}")))
+        .collect();
+    let c = b.labeled(OpKind::Const, "c");
+    // Stage 1: butterflies on (0,4), (1,5), (2,6), (3,7).
+    let mut s1 = Vec::new();
+    for i in 0..4 {
+        let sum = b.apply(OpKind::Add, &[xs[i], xs[i + 4]]);
+        let diff = b.apply(OpKind::Sub, &[xs[i], xs[i + 4]]);
+        s1.push((sum, diff));
+    }
+    // Stage 2: cross-combine with a twiddle multiply on the diffs.
+    let t0 = b.apply(OpKind::Add, &[s1[0].0, s1[2].0]);
+    let t1 = b.apply(OpKind::Sub, &[s1[0].0, s1[2].0]);
+    let m0 = b.apply(OpKind::Mul, &[s1[1].1, c]);
+    let m1 = b.apply(OpKind::Mul, &[s1[3].1, c]);
+    let t2 = b.apply(OpKind::Add, &[m0, m1]);
+    let t3 = b.apply(OpKind::Sub, &[s1[1].0, s1[3].0]);
+    // Stage 3: outputs.
+    let y0 = b.apply(OpKind::Add, &[t0, t2]);
+    let y1 = b.apply(OpKind::Sub, &[t0, t2]);
+    let y2 = b.apply(OpKind::Add, &[t1, t3]);
+    b.apply(OpKind::Store, &[y0]);
+    b.apply(OpKind::Store, &[y1]);
+    b.apply(OpKind::Store, &[y2]);
+    b.build().expect("idct8 kernel is well-formed")
+}
+
+/// One row of a matrix–vector product: four multiply-accumulate lanes
+/// folded by an adder tree (16 ops, no recurrence).
+pub fn matvec4() -> Dfg {
+    let mut b = DfgBuilder::new("matvec4");
+    let mut prods = Vec::new();
+    for i in 0..4 {
+        let a = b.labeled(OpKind::Load, format!("a{i}"));
+        let x = b.labeled(OpKind::Load, format!("x{i}"));
+        prods.push(b.apply(OpKind::Mul, &[a, x]));
+    }
+    let s0 = b.apply(OpKind::Add, &[prods[0], prods[1]]);
+    let s1 = b.apply(OpKind::Add, &[prods[2], prods[3]]);
+    let y = b.apply(OpKind::Add, &[s0, s1]);
+    b.apply(OpKind::Store, &[y]);
+    b.build().expect("matvec4 kernel is well-formed")
+}
+
+/// Histogram update: classify a sample into a bin with cmp/select and
+/// bump a running counter (self-recurrence of latency 2).
+pub fn histogram() -> Dfg {
+    let mut b = DfgBuilder::new("histogram");
+    let x = b.labeled(OpKind::Load, "x");
+    let threshold = b.labeled(OpKind::Const, "th");
+    let cmp = b.apply(OpKind::Cmp, &[x, threshold]);
+    let bin = b.apply(OpKind::Select, &[cmp, x]);
+    // count' = count + bin-indicator; latency-2 recurrence (add + select).
+    let count = b.labeled(OpKind::Add, "count");
+    b.edge(bin, count);
+    b.carried_edge(count, count, 1);
+    b.apply(OpKind::Store, &[count]);
+    b.apply(OpKind::Store, &[bin]);
+    b.build().expect("histogram kernel is well-formed")
+}
+
+/// Unsharp-mask sharpening: centre pixel boosted against the local blur
+/// (12 ops, no recurrence, multiply-heavy).
+pub fn sharpen() -> Dfg {
+    let mut b = DfgBuilder::new("sharpen");
+    let c = b.labeled(OpKind::Load, "centre");
+    let n = b.labeled(OpKind::Load, "n");
+    let s = b.labeled(OpKind::Load, "s");
+    let e = b.labeled(OpKind::Load, "e");
+    let w = b.labeled(OpKind::Load, "w");
+    let ns = b.apply(OpKind::Add, &[n, s]);
+    let ew = b.apply(OpKind::Add, &[e, w]);
+    let blur = b.apply(OpKind::Add, &[ns, ew]);
+    let c4 = b.apply(OpKind::Shift, &[c]);
+    let hi = b.apply(OpKind::Sub, &[c4, blur]);
+    let amount = b.labeled(OpKind::Const, "k");
+    let boosted = b.apply(OpKind::Mul, &[hi, amount]);
+    let out = b.apply(OpKind::Add, &[c, boosted]);
+    b.apply(OpKind::Store, &[out]);
+    b.build().expect("sharpen kernel is well-formed")
+}
+
+/// All extra kernels.
+pub fn all_extras() -> Vec<Dfg> {
+    vec![idct8(), matvec4(), histogram(), sharpen()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+    use crate::validate::validate;
+
+    #[test]
+    fn extras_validate() {
+        for k in all_extras() {
+            assert!(validate(&k).is_ok(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn idct8_is_deep_and_wide() {
+        let k = idct8();
+        assert!(k.num_nodes() >= 25);
+        assert!(!k.has_recurrence());
+        assert_eq!(rec_mii(&k), 1);
+        assert!(res_mii(&k, 16) >= 2);
+    }
+
+    #[test]
+    fn matvec_is_parallel() {
+        let k = matvec4();
+        assert_eq!(k.num_nodes(), 16);
+        assert!(!k.has_recurrence());
+    }
+
+    #[test]
+    fn histogram_has_accumulator() {
+        let k = histogram();
+        assert!(k.has_recurrence());
+        assert_eq!(rec_mii(&k), 1); // self-loop latency 1
+    }
+
+    #[test]
+    fn sharpen_shape() {
+        let k = sharpen();
+        assert_eq!(k.num_mem_ops(), 6);
+        assert!(!k.has_recurrence());
+    }
+}

@@ -1,0 +1,46 @@
+//! Gauss–Seidel relaxation (the paper's "Gsr" filter): the smoothed value
+//! of sample `i` mixes the *already updated* neighbours `i−1` and `i−2`
+//! with the raw sample — two loop-carried uses of the kernel's own output.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 10-operation GSR kernel (RecMII = 3).
+pub fn gsr() -> Dfg {
+    let mut b = DfgBuilder::new("gsr");
+    let x = b.labeled(OpKind::Load, "x[i]");
+    let w = b.labeled(OpKind::Const, "w");
+    // out[i-1] + out[i-2], both loop-carried from `out` below.
+    let nsum = b.labeled(OpKind::Add, "nsum");
+    let half = b.apply(OpKind::Shift, &[nsum]);
+    let mix = b.apply(OpKind::Sub, &[x, half]);
+    let scaled = b.apply(OpKind::Mul, &[mix, w]);
+    let out = b.apply(OpKind::Add, &[x, scaled]);
+    b.apply(OpKind::Store, &[out]);
+    b.carried_edge(out, nsum, 1);
+    b.carried_edge(out, nsum, 2);
+    // A comparison guard on convergence, outside the cycle.
+    let cmp = b.apply(OpKind::Cmp, &[out]);
+    b.apply(OpKind::Store, &[cmp]);
+    b.build().expect("gsr kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::rec_mii;
+
+    #[test]
+    fn shape() {
+        let g = gsr();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.has_recurrence());
+    }
+
+    #[test]
+    fn tightest_cycle_is_distance_one() {
+        // Cycle nsum -> half -> mix -> scaled -> out -> nsum: latency 5,
+        // distance 1 via the first carried edge => RecMII = 5.
+        assert_eq!(rec_mii(&gsr()), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Laplace — 5-point Laplacian edge-detection filter:
+//! `out = n + s + e + w − 4·c`. Pure stencil, no recurrence.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 11-operation Laplace kernel.
+pub fn laplace() -> Dfg {
+    let mut b = DfgBuilder::new("laplace");
+    let n = b.labeled(OpKind::Load, "n");
+    let s = b.labeled(OpKind::Load, "s");
+    let e = b.labeled(OpKind::Load, "e");
+    let w = b.labeled(OpKind::Load, "w");
+    let c = b.labeled(OpKind::Load, "c");
+    let ns = b.apply(OpKind::Add, &[n, s]);
+    let ew = b.apply(OpKind::Add, &[e, w]);
+    let ring = b.apply(OpKind::Add, &[ns, ew]);
+    let c4 = b.apply(OpKind::Shift, &[c]); // 4·c via << 2
+    let d = b.apply(OpKind::Sub, &[ring, c4]);
+    b.apply(OpKind::Store, &[d]);
+    b.build().expect("laplace kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+
+    #[test]
+    fn shape() {
+        let g = laplace();
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_mem_ops(), 6);
+        assert!(!g.has_recurrence());
+    }
+
+    #[test]
+    fn fits_a_4x4_at_ii_one() {
+        assert_eq!(rec_mii(&laplace()), 1);
+        assert_eq!(res_mii(&laplace(), 16), 1);
+    }
+}

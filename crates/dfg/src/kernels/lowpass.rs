@@ -1,0 +1,47 @@
+//! Lowpass — 3×3 box-blur (averaging) filter, computed separably:
+//! three column sums are combined and scaled. No recurrence.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 16-operation lowpass kernel.
+pub fn lowpass() -> Dfg {
+    let mut b = DfgBuilder::new("lowpass");
+    // Three column sums of the 3x3 window (each column pre-summed into a
+    // line buffer in the real filter; here each is two adds over loads).
+    let mut cols = Vec::new();
+    for name in ["l", "m", "r"] {
+        let a = b.labeled(OpKind::Load, format!("{name}0"));
+        let c = b.labeled(OpKind::Load, format!("{name}1"));
+        let s = b.apply(OpKind::Add, &[a, c]);
+        cols.push(s);
+    }
+    let lm = b.apply(OpKind::Add, &[cols[0], cols[1]]);
+    let all = b.apply(OpKind::Add, &[lm, cols[2]]);
+    let recip = b.labeled(OpKind::Const, "1/9");
+    let scaled = b.apply(OpKind::Mul, &[all, recip]);
+    let rounded = b.apply(OpKind::Shift, &[scaled]);
+    b.apply(OpKind::Store, &[rounded]);
+    b.build().expect("lowpass kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+
+    #[test]
+    fn shape() {
+        let g = lowpass();
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_mem_ops(), 7);
+        assert!(!g.has_recurrence());
+    }
+
+    #[test]
+    fn resource_bound_only() {
+        assert_eq!(rec_mii(&lowpass()), 1);
+        assert_eq!(res_mii(&lowpass(), 16), 1);
+        assert_eq!(res_mii(&lowpass(), 8), 2);
+    }
+}

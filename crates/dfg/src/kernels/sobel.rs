@@ -1,0 +1,69 @@
+//! Sobel — 3×3 gradient edge detector. Both direction kernels
+//! (Gx and Gy) share the eight boundary loads; the result is
+//! `|Gx| + |Gy|` clipped to 8 bits. No recurrence; the suite's second
+//! largest kernel and the classic CGRA demo workload.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 28-operation Sobel kernel.
+pub fn sobel() -> Dfg {
+    let mut b = DfgBuilder::new("sobel");
+    // 3x3 window without the centre.
+    let p00 = b.labeled(OpKind::Load, "p00");
+    let p01 = b.labeled(OpKind::Load, "p01");
+    let p02 = b.labeled(OpKind::Load, "p02");
+    let p10 = b.labeled(OpKind::Load, "p10");
+    let p12 = b.labeled(OpKind::Load, "p12");
+    let p20 = b.labeled(OpKind::Load, "p20");
+    let p21 = b.labeled(OpKind::Load, "p21");
+    let p22 = b.labeled(OpKind::Load, "p22");
+
+    // Gx = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+    let p12x2 = b.apply(OpKind::Shift, &[p12]);
+    let gxr0 = b.apply(OpKind::Add, &[p02, p12x2]);
+    let gxr = b.apply(OpKind::Add, &[gxr0, p22]);
+    let p10x2 = b.apply(OpKind::Shift, &[p10]);
+    let gxl0 = b.apply(OpKind::Add, &[p00, p10x2]);
+    let gxl = b.apply(OpKind::Add, &[gxl0, p20]);
+    let gx = b.apply(OpKind::Sub, &[gxr, gxl]);
+
+    // Gy = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+    let p21x2 = b.apply(OpKind::Shift, &[p21]);
+    let gyb0 = b.apply(OpKind::Add, &[p20, p21x2]);
+    let gyb = b.apply(OpKind::Add, &[gyb0, p22]);
+    let p01x2 = b.apply(OpKind::Shift, &[p01]);
+    let gyt0 = b.apply(OpKind::Add, &[p00, p01x2]);
+    let gyt = b.apply(OpKind::Add, &[gyt0, p02]);
+    let gy = b.apply(OpKind::Sub, &[gyb, gyt]);
+
+    let ax = b.apply(OpKind::Abs, &[gx]);
+    let ay = b.apply(OpKind::Abs, &[gy]);
+    let mag = b.apply(OpKind::Add, &[ax, ay]);
+    let cmp = b.apply(OpKind::Cmp, &[mag]);
+    let clipped = b.apply(OpKind::Select, &[cmp, mag]);
+    b.apply(OpKind::Store, &[clipped]);
+
+    b.build().expect("sobel kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+
+    #[test]
+    fn shape() {
+        let g = sobel();
+        assert_eq!(g.num_nodes(), 28);
+        assert_eq!(g.num_mem_ops(), 9);
+        assert!(!g.has_recurrence());
+    }
+
+    #[test]
+    fn resource_bound() {
+        assert_eq!(rec_mii(&sobel()), 1);
+        assert_eq!(res_mii(&sobel(), 16), 2);
+        assert_eq!(res_mii(&sobel(), 64), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Successive over-relaxation (1-D sweep) — a "highly parallel
+//! application" in the paper's grouping, but its in-sweep update carries a
+//! true recurrence: the new value of `x[i-1]` feeds the update of `x[i]`.
+//!
+//! `x[i] += ω · (x_new[i−1] + x[i+1] − 2·x[i])`
+//!
+//! The recurrence cycle (sum → diff → scale → new → sum, carried distance
+//! 1) bounds II at 4 regardless of fabric size — exactly the class of
+//! kernel Fig. 3 argues cannot fill a CGRA alone.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 9-operation SOR kernel (RecMII = 4).
+pub fn sor() -> Dfg {
+    let mut b = DfgBuilder::new("sor");
+    let xi = b.labeled(OpKind::Load, "x[i]");
+    let xip = b.labeled(OpKind::Load, "x[i+1]");
+    let omega = b.labeled(OpKind::Const, "w");
+    // x_new[i-1] arrives over the carried edge below.
+    let sum = b.labeled(OpKind::Add, "sum");
+    b.edge(xip, sum);
+    let two_xi = b.apply(OpKind::Shift, &[xi]);
+    let diff = b.apply(OpKind::Sub, &[sum, two_xi]);
+    let scaled = b.apply(OpKind::Mul, &[diff, omega]);
+    let newx = b.apply(OpKind::Add, &[xi, scaled]);
+    b.apply(OpKind::Store, &[newx]);
+    // The freshly computed x_new[i] is the x_new[i-1] of the next iteration.
+    b.carried_edge(newx, sum, 1);
+    b.build().expect("sor kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::rec_mii;
+
+    #[test]
+    fn shape() {
+        let g = sor();
+        assert_eq!(g.num_nodes(), 9);
+        assert!(g.has_recurrence());
+    }
+
+    #[test]
+    fn recurrence_bounds_ii_at_four() {
+        // Cycle: sum -> diff -> scaled -> newx -> (carried) sum,
+        // latency 4, distance 1.
+        assert_eq!(rec_mii(&sor()), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Swim — the shallow-water finite-difference update (SPEC `swim`'s
+//! CALC1-style loop): velocity and pressure stencils combined with
+//! physics constants, producing three output fields. Jacobi-style —
+//! reads old fields, writes new ones — so no recurrence, but wide:
+//! the largest kernel in the suite.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 33-operation swim kernel.
+pub fn swim() -> Dfg {
+    let mut b = DfgBuilder::new("swim");
+    // Field loads: u, v at two offsets each; p at four offsets.
+    let u0 = b.labeled(OpKind::Load, "u[i,j]");
+    let u1 = b.labeled(OpKind::Load, "u[i+1,j]");
+    let v0 = b.labeled(OpKind::Load, "v[i,j]");
+    let v1 = b.labeled(OpKind::Load, "v[i,j+1]");
+    let p00 = b.labeled(OpKind::Load, "p[i,j]");
+    let p10 = b.labeled(OpKind::Load, "p[i+1,j]");
+    let p01 = b.labeled(OpKind::Load, "p[i,j+1]");
+    let p11 = b.labeled(OpKind::Load, "p[i+1,j+1]");
+    let fsdx = b.labeled(OpKind::Const, "fsdx");
+    let fsdy = b.labeled(OpKind::Const, "fsdy");
+
+    // cu = 0.5*(p[i+1,j]+p[i,j])*u
+    let psumx = b.apply(OpKind::Add, &[p10, p00]);
+    let psumxh = b.apply(OpKind::Shift, &[psumx]);
+    let cu = b.apply(OpKind::Mul, &[psumxh, u0]);
+    b.apply(OpKind::Store, &[cu]);
+
+    // cv = 0.5*(p[i,j+1]+p[i,j])*v
+    let psumy = b.apply(OpKind::Add, &[p01, p00]);
+    let psumyh = b.apply(OpKind::Shift, &[psumy]);
+    let cv = b.apply(OpKind::Mul, &[psumyh, v0]);
+    b.apply(OpKind::Store, &[cv]);
+
+    // z = (fsdx*(v[i,j+1]-v) - fsdy*(u[i+1,j]-u)) / (p-average)
+    let dv = b.apply(OpKind::Sub, &[v1, v0]);
+    let du = b.apply(OpKind::Sub, &[u1, u0]);
+    let zx = b.apply(OpKind::Mul, &[dv, fsdx]);
+    let zy = b.apply(OpKind::Mul, &[du, fsdy]);
+    let znum = b.apply(OpKind::Sub, &[zx, zy]);
+    let pd = b.apply(OpKind::Add, &[p00, p11]);
+    let pdh = b.apply(OpKind::Shift, &[pd]);
+    let z = b.apply(OpKind::Mul, &[znum, pdh]); // reciprocal folded into pdh
+    b.apply(OpKind::Store, &[z]);
+
+    // h = p + 0.25*(u^2-ish + v^2-ish) — kinetic term.
+    let uu = b.apply(OpKind::Mul, &[u0, u0]);
+    let vv = b.apply(OpKind::Mul, &[v0, v0]);
+    let ke = b.apply(OpKind::Add, &[uu, vv]);
+    let keq = b.apply(OpKind::Shift, &[ke]);
+    let h = b.apply(OpKind::Add, &[p00, keq]);
+    b.apply(OpKind::Store, &[h]);
+
+    b.build().expect("swim kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+
+    #[test]
+    fn shape() {
+        let g = swim();
+        assert_eq!(g.num_nodes(), 33);
+        assert_eq!(g.num_mem_ops(), 12);
+        assert!(!g.has_recurrence());
+    }
+
+    #[test]
+    fn widest_kernel_needs_two_rows_of_4x4() {
+        assert_eq!(rec_mii(&swim()), 1);
+        assert_eq!(res_mii(&swim(), 16), 3);
+        assert_eq!(res_mii(&swim(), 36), 1);
+    }
+}

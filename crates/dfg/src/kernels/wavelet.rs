@@ -1,0 +1,49 @@
+//! Wavelet — one level of the Haar lifting transform over a sample pair:
+//! detail `d = odd − even`, smooth `s = even + d/2`, plus the update
+//! step feeding the next pair through a carried predict term.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 12-operation wavelet kernel.
+pub fn wavelet() -> Dfg {
+    let mut b = DfgBuilder::new("wavelet");
+    let even = b.labeled(OpKind::Load, "x[2i]");
+    let odd = b.labeled(OpKind::Load, "x[2i+1]");
+    let d = b.apply(OpKind::Sub, &[odd, even]);
+    let dh = b.apply(OpKind::Shift, &[d]);
+    let s = b.apply(OpKind::Add, &[even, dh]);
+    b.apply(OpKind::Store, &[d]);
+    b.apply(OpKind::Store, &[s]);
+    // Boundary-extension predictor: blend with previous pair's smooth
+    // output (carried), a cmp/select to handle the edge clamp.
+    let blend = b.labeled(OpKind::Add, "blend");
+    b.edge(s, blend);
+    b.carried_edge(s, blend, 1);
+    let cmp = b.apply(OpKind::Cmp, &[blend]);
+    let sel = b.apply(OpKind::Select, &[cmp, blend]);
+    b.apply(OpKind::Store, &[sel]);
+    b.build().expect("wavelet kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::rec_mii;
+
+    #[test]
+    fn shape() {
+        let g = wavelet();
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_mem_ops(), 5);
+    }
+
+    #[test]
+    fn carried_edge_without_cycle_keeps_rec_mii_one() {
+        // s feeds blend both same-iteration and carried, but blend never
+        // feeds back into s: no cycle.
+        let g = wavelet();
+        assert!(!g.has_recurrence());
+        assert_eq!(rec_mii(&g), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! YUV → RGB colour-space conversion (video decoding).
+//!
+//! Per pixel: `r = y + 1.402 v`, `g = y − 0.344 u − 0.714 v`,
+//! `b = y + 1.772 u`, each channel clipped to [0, 255] with a
+//! compare + select. Fixed-point constants enter through `Const` nodes.
+//! Fully parallel across pixels — no recurrence.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, OpKind};
+
+/// Build the 24-operation yuv2rgb kernel.
+pub fn yuv2rgb() -> Dfg {
+    let mut b = DfgBuilder::new("yuv2rgb");
+    let y = b.labeled(OpKind::Load, "y");
+    let u = b.labeled(OpKind::Load, "u");
+    let v = b.labeled(OpKind::Load, "v");
+    let c_rv = b.labeled(OpKind::Const, "1.402");
+    let c_gu = b.labeled(OpKind::Const, "0.344");
+    let c_gv = b.labeled(OpKind::Const, "0.714");
+    let c_bu = b.labeled(OpKind::Const, "1.772");
+
+    // Red channel.
+    let rv = b.apply(OpKind::Mul, &[v, c_rv]);
+    let r0 = b.apply(OpKind::Add, &[y, rv]);
+    let rcmp = b.apply(OpKind::Cmp, &[r0]);
+    let r = b.apply(OpKind::Select, &[rcmp, r0]);
+    b.apply(OpKind::Store, &[r]);
+
+    // Green channel.
+    let gu = b.apply(OpKind::Mul, &[u, c_gu]);
+    let gv = b.apply(OpKind::Mul, &[v, c_gv]);
+    let g0 = b.apply(OpKind::Sub, &[y, gu]);
+    let g1 = b.apply(OpKind::Sub, &[g0, gv]);
+    let gcmp = b.apply(OpKind::Cmp, &[g1]);
+    let g = b.apply(OpKind::Select, &[gcmp, g1]);
+    b.apply(OpKind::Store, &[g]);
+
+    // Blue channel.
+    let bu = b.apply(OpKind::Mul, &[u, c_bu]);
+    let b0 = b.apply(OpKind::Add, &[y, bu]);
+    let bcmp = b.apply(OpKind::Cmp, &[b0]);
+    let bb = b.apply(OpKind::Select, &[bcmp, b0]);
+    b.apply(OpKind::Store, &[bb]);
+
+    b.build().expect("yuv2rgb kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+
+    #[test]
+    fn shape() {
+        let g = yuv2rgb();
+        assert_eq!(g.num_nodes(), 24);
+        assert_eq!(g.num_mem_ops(), 6); // 3 loads + 3 stores
+        assert!(!g.has_recurrence());
+    }
+
+    #[test]
+    fn parallel_kernel_is_resource_bound() {
+        let g = yuv2rgb();
+        assert_eq!(rec_mii(&g), 1);
+        assert_eq!(res_mii(&g, 16), 2); // 24 ops on 16 PEs
+        assert_eq!(res_mii(&g, 36), 1);
+    }
+}

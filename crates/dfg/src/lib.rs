@@ -1,0 +1,34 @@
+//! # cgra-dfg — data-flow graphs for CGRA loop kernels
+//!
+//! CGRAs accelerate innermost loops. A loop body is represented as a
+//! data-flow graph (DFG): vertices are micro-operations (loads, stores,
+//! arithmetic/logic ops) and edges are data dependences, each annotated
+//! with a *distance* — the number of loop iterations the dependence spans
+//! (0 for intra-iteration dependences, ≥ 1 for loop-carried ones; paper
+//! §II and Fig. 2/3).
+//!
+//! * [`graph`] — the IR: [`Dfg`], [`Node`], [`Edge`], [`OpKind`].
+//! * [`builder`] — fluent construction with validation.
+//! * [`analysis`] — ResMII/RecMII bounds, ASAP/ALAP under an II, node
+//!   heights, strongly connected components.
+//! * [`transform`] — loop unrolling (used to reproduce the paper's Fig. 3
+//!   argument that unrolling cannot beat the recurrence bound).
+//! * [`kernels`] — the paper's benchmark suite, reconstructed.
+//! * [`random`] — seeded random DFG generation for property tests.
+//! * [`dot`] — Graphviz export.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod graph;
+pub mod kernels;
+pub mod random;
+pub mod transform;
+pub mod validate;
+
+pub use analysis::{mii, rec_mii, res_mii};
+pub use builder::DfgBuilder;
+pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, OpKind};

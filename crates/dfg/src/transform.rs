@@ -1,0 +1,134 @@
+//! DFG transformations.
+//!
+//! Currently: loop unrolling, used to reproduce the paper's Fig. 3
+//! observation that unrolling cannot beat the recurrence bound (the
+//! *effective* II per original iteration is unchanged).
+
+use crate::graph::{Dfg, Edge, Node, NodeId};
+
+/// Unroll a loop body `factor` times.
+///
+/// Copy `i` of the body corresponds to original iteration `k·j + i` of the
+/// new iteration `j`. An original dependence `u → v` with distance `d`
+/// becomes, for each copy `i`, an edge from copy `i` of `u` to copy
+/// `(i + d) mod factor` of `v` with new distance `(i + d) / factor`.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn unroll(dfg: &Dfg, factor: u32) -> Dfg {
+    assert!(factor >= 1, "unroll factor must be >= 1");
+    let k = factor as usize;
+    let n = dfg.num_nodes();
+    let mut nodes: Vec<Node> = Vec::with_capacity(n * k);
+    for copy in 0..k {
+        for id in dfg.node_ids() {
+            let mut node = dfg.node(id).clone();
+            if let Some(label) = &node.label {
+                node.label = Some(format!("{label}.{copy}"));
+            }
+            nodes.push(node);
+        }
+    }
+    let mut edges = Vec::with_capacity(dfg.num_edges() * k);
+    for e in dfg.edges() {
+        for copy in 0..k as u32 {
+            let target_copy = (copy + e.distance) % factor;
+            let new_distance = (copy + e.distance) / factor;
+            edges.push(Edge {
+                src: NodeId(copy * n as u32 + e.src.0),
+                dst: NodeId(target_copy * n as u32 + e.dst.0),
+                distance: new_distance,
+            });
+        }
+    }
+    Dfg::from_parts(format!("{}_x{}", dfg.name, factor), nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rec_mii, res_mii};
+    use crate::builder::DfgBuilder;
+    use crate::graph::OpKind;
+
+    /// Fig. 3's kernel: a ↔ b recurrence (a→b distance 0, b→a distance 1)
+    /// plus a dependent op c. RecMII = 2.
+    fn fig3() -> Dfg {
+        let mut bl = DfgBuilder::new("fig3");
+        let a = bl.labeled(OpKind::Add, "a");
+        let b = bl.labeled(OpKind::Add, "b");
+        let c = bl.labeled(OpKind::Store, "c");
+        bl.edge(a, b);
+        bl.carried_edge(b, a, 1);
+        bl.edge(b, c);
+        bl.build().unwrap()
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity_shape() {
+        let g = fig3();
+        let u = unroll(&g, 1);
+        assert_eq!(u.num_nodes(), g.num_nodes());
+        assert_eq!(u.num_edges(), g.num_edges());
+        assert_eq!(rec_mii(&u), rec_mii(&g));
+    }
+
+    #[test]
+    fn unroll_scales_counts() {
+        let g = fig3();
+        let u = unroll(&g, 2);
+        assert_eq!(u.num_nodes(), 6);
+        assert_eq!(u.num_edges(), 6);
+    }
+
+    /// The paper's Fig. 3 point: unrolling doubles RecMII alongside the
+    /// work per iteration, so the *effective* II per original iteration
+    /// (RecMII / factor) never improves.
+    #[test]
+    fn unrolling_cannot_beat_recurrence_bound() {
+        let g = fig3();
+        let base = rec_mii(&g); // 2
+        assert_eq!(base, 2);
+        for k in 2..=4 {
+            let u = unroll(&g, k);
+            let unrolled = rec_mii(&u);
+            assert!(
+                unrolled >= base * k,
+                "unroll x{k}: rec_mii {unrolled} < {} — effective II improved",
+                base * k
+            );
+        }
+    }
+
+    #[test]
+    fn unroll_preserves_validity() {
+        let g = fig3();
+        for k in 1..=4 {
+            let u = unroll(&g, k);
+            assert!(crate::validate::validate(&u).is_ok(), "unroll x{k} invalid");
+        }
+    }
+
+    #[test]
+    fn unrolled_res_mii_scales() {
+        let g = fig3();
+        assert_eq!(res_mii(&unroll(&g, 2), 3), 2);
+    }
+
+    #[test]
+    fn carried_distance_two_unrolled_by_two_becomes_intra_copy_link() {
+        // u -> v with distance 2, unrolled x2: copy0 -> copy0 at distance 1,
+        // copy1 -> copy1 at distance 1.
+        let mut b = DfgBuilder::new("d2");
+        let u = b.node(OpKind::Load);
+        let v = b.node(OpKind::Store);
+        b.carried_edge(u, v, 2);
+        let g = b.build().unwrap();
+        let un = unroll(&g, 2);
+        for e in un.edges() {
+            assert_eq!(e.distance, 1);
+            // src copy == dst copy
+            assert_eq!(e.src.0 / 2, e.dst.0 / 2);
+        }
+    }
+}

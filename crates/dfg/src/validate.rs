@@ -1,0 +1,152 @@
+//! DFG invariant checking.
+
+use crate::graph::{Dfg, NodeId};
+
+/// Why a DFG failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge endpoint is out of range.
+    DanglingEdge {
+        /// Index of the offending edge.
+        edge_index: usize,
+    },
+    /// A dependence cycle whose edges all have distance 0 — the loop body
+    /// would depend on itself within one iteration, which is unschedulable.
+    ZeroDistanceCycle {
+        /// A node on the cycle.
+        witness: NodeId,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Empty => write!(f, "DFG has no nodes"),
+            ValidationError::DanglingEdge { edge_index } => {
+                write!(f, "edge #{edge_index} references a node out of range")
+            }
+            ValidationError::ZeroDistanceCycle { witness } => {
+                write!(f, "zero-distance dependence cycle through {witness}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check all DFG invariants.
+pub fn validate(dfg: &Dfg) -> Result<(), ValidationError> {
+    if dfg.num_nodes() == 0 {
+        return Err(ValidationError::Empty);
+    }
+    for (i, e) in dfg.edges().enumerate() {
+        if e.src.index() >= dfg.num_nodes() || e.dst.index() >= dfg.num_nodes() {
+            return Err(ValidationError::DanglingEdge { edge_index: i });
+        }
+    }
+    // Zero-distance cycle detection: DFS over distance-0 edges only.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut mark = vec![Mark::White; dfg.num_nodes()];
+    // Iterative DFS with an explicit stack to avoid recursion limits on
+    // large random graphs.
+    for start in dfg.node_ids() {
+        if mark[start.index()] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, bool)> = vec![(start, false)];
+        while let Some((n, processed)) = stack.pop() {
+            if processed {
+                mark[n.index()] = Mark::Black;
+                continue;
+            }
+            if mark[n.index()] == Mark::Black {
+                continue;
+            }
+            if mark[n.index()] == Mark::Gray {
+                continue;
+            }
+            mark[n.index()] = Mark::Gray;
+            stack.push((n, true));
+            for e in dfg.succ_edges(n) {
+                let edge = dfg.edge(e);
+                if edge.distance != 0 {
+                    continue;
+                }
+                match mark[edge.dst.index()] {
+                    Mark::White => stack.push((edge.dst, false)),
+                    Mark::Gray => {
+                        return Err(ValidationError::ZeroDistanceCycle { witness: edge.dst })
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::graph::OpKind;
+
+    #[test]
+    fn valid_chain_passes() {
+        let mut b = DfgBuilder::new("chain");
+        let a = b.node(OpKind::Load);
+        let c = b.apply(OpKind::Add, &[a]);
+        b.apply(OpKind::Store, &[c]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn carried_cycle_passes() {
+        let mut b = DfgBuilder::new("acc");
+        let a = b.node(OpKind::Add);
+        b.carried_edge(a, a, 1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn mixed_cycle_with_carried_backedge_passes() {
+        let mut b = DfgBuilder::new("rec");
+        let a = b.node(OpKind::Add);
+        let c = b.node(OpKind::Mul);
+        b.edge(a, c);
+        b.carried_edge(c, a, 1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn zero_cycle_detected_deep() {
+        let mut b = DfgBuilder::new("bad");
+        let n0 = b.node(OpKind::Add);
+        let n1 = b.node(OpKind::Add);
+        let n2 = b.node(OpKind::Add);
+        let n3 = b.node(OpKind::Add);
+        b.edge(n0, n1);
+        b.edge(n1, n2);
+        b.edge(n2, n3);
+        b.edge(n3, n1); // cycle 1->2->3->1 all distance 0
+        match b.build() {
+            Err(ValidationError::ZeroDistanceCycle { .. }) => {}
+            other => panic!("expected zero-distance cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_detected() {
+        assert_eq!(
+            DfgBuilder::new("e").build().unwrap_err(),
+            ValidationError::Empty
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # cgra-exec — functional execution of CGRA schedules
+//!
+//! Structural validators (crate `cgra-mapper`, `cgra-core`) check that
+//! schedules *could* move values correctly; this crate checks that they
+//! *do*: it runs schedules with concrete values and compares against a
+//! golden dataflow interpretation.
+//!
+//! * [`semantics`] — concrete, operand-order-sensitive op semantics.
+//! * [`interp`] — the golden reference: direct DFG interpretation over
+//!   input streams.
+//! * [`machine`] — cycle-level execution of a mapped or PageMaster-folded
+//!   schedule: values only exist where and when their producing steps
+//!   published them; every read asserts physical presence.
+//!
+//! The headline property (exercised by the test suites and
+//! `examples/functional_check.rs`): for every benchmark kernel,
+//!
+//! ```text
+//! interpret(dfg)  ==  execute(map_baseline(dfg))
+//!                 ==  execute(map_constrained(dfg))
+//!                 ==  execute(fold_to_page(map_constrained(dfg)))
+//! ```
+//!
+//! so the paging constraints and the shrink transformation preserve
+//! program semantics, not just scheduling invariants.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod interp;
+pub mod machine;
+pub mod semantics;
+
+pub use interp::{interpret, InputStreams, Outputs};
+pub use machine::{execute, ExecError, MachineSchedule};
+pub use semantics::{const_value, eval, Word};

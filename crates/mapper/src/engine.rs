@@ -1,0 +1,717 @@
+//! The iterative modulo-scheduling engine.
+//!
+//! This is the shared machinery behind both the baseline mapper and the
+//! constrained mapper: for each candidate II starting at the MII, it
+//! performs height-ordered list placement with joint operand routing over
+//! the time-extended CGRA graph (the EMS family's structure: place a node,
+//! immediately route the edges to its already-placed neighbours, reject
+//! the spot if any edge cannot be routed). Randomised restarts with
+//! jittered tie-breaking stand in for EMS's backtracking; kernels at CGRA
+//! scale (≤ ~50 ops) converge within a handful of restarts.
+
+use crate::error::MapError;
+use crate::mapping::{MapMode, Mapping, Placement, RouteHop};
+use crate::mrt::{Mrt, SlotUse};
+use crate::opts::MapOptions;
+use crate::route::{route_baseline, route_ring, route_strict, RoutePlan, RouteRequest};
+use crate::spill::MapDfg;
+use cgra_arch::CgraConfig;
+use cgra_dfg::graph::NodeId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Edge latency: memory edges take 2 cycles (store execute + visibility),
+/// everything else 1.
+fn edge_latency(mdfg: &MapDfg, edge_index: usize) -> i64 {
+    if mdfg.is_mem_edge(edge_index) {
+        2
+    } else {
+        1
+    }
+}
+
+/// ASAP start times at `ii` with memory-edge latencies, or `None` when a
+/// recurrence makes `ii` infeasible.
+pub fn asap_with_mem(mdfg: &MapDfg, ii: u32) -> Option<Vec<u32>> {
+    let dfg = &mdfg.dfg;
+    let n = dfg.num_nodes();
+    let mut start = vec![0i64; n];
+    // Bellman-Ford longest path; n+1 passes detect positive cycles.
+    for pass in 0..=n {
+        let mut changed = false;
+        for (i, e) in dfg.edges().enumerate() {
+            let w = edge_latency(mdfg, i) - ii as i64 * e.distance as i64;
+            let cand = start[e.src.index()] + w;
+            if cand > start[e.dst.index()] {
+                start[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if pass == n {
+            return None;
+        }
+    }
+    let min = start.iter().copied().min().unwrap_or(0);
+    Some(start.iter().map(|&s| (s - min) as u32).collect())
+}
+
+/// The MII for this (possibly spill-augmented) graph on this fabric.
+pub fn mii_with_mem(mdfg: &MapDfg, cgra: &CgraConfig) -> u32 {
+    let mem_slots = cgra.mesh().rows() as usize * cgra.mem().buses_per_row() as usize;
+    let res = cgra_dfg::analysis::res_mii_with_mem(&mdfg.dfg, cgra.num_pes(), mem_slots);
+    // RecMII with mem-edge latency: smallest feasible ii by linear scan
+    // from the plain-latency RecMII (mem edges only lengthen cycles).
+    let mut ii = cgra_dfg::analysis::rec_mii(&mdfg.dfg);
+    while asap_with_mem(mdfg, ii).is_none() {
+        ii += 1;
+    }
+    res.max(ii)
+}
+
+/// Statistics from a failed placement attempt, used by the constrained
+/// mapper to pick spill candidates.
+#[derive(Debug, Default, Clone)]
+pub struct FailureStats {
+    /// Per-edge count of routing failures across all attempts.
+    pub edge_route_failures: Vec<u32>,
+}
+
+/// SCC ids over the *routable* (non-memory) edges. Under the ring path
+/// constraint a recurrence cycle can never advance pages, so all members
+/// of a routable SCC must share one page.
+fn routable_scc_of(mdfg: &MapDfg) -> Vec<usize> {
+    // Build a reduced graph with mem edges dropped and run Tarjan on it.
+    let dfg = &mdfg.dfg;
+    let nodes: Vec<cgra_dfg::graph::Node> = dfg.node_ids().map(|n| dfg.node(n).clone()).collect();
+    let edges: Vec<cgra_dfg::graph::Edge> = dfg
+        .edges()
+        .enumerate()
+        .filter(|(i, _)| !mdfg.is_mem_edge(*i))
+        .map(|(_, e)| e)
+        .collect();
+    let reduced = cgra_dfg::graph::Dfg::from_parts("reduced".into(), nodes, edges);
+    let comps = cgra_dfg::analysis::sccs(&reduced);
+    let mut comp_of = vec![usize::MAX; dfg.num_nodes()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for n in comp {
+            comp_of[n.index()] = ci;
+        }
+    }
+    comp_of
+}
+
+struct Attempt<'a> {
+    mdfg: &'a MapDfg,
+    cgra: &'a CgraConfig,
+    mode: MapMode,
+    ii: u32,
+    opts: &'a MapOptions,
+    mrt: Mrt,
+    placed: Vec<Option<Placement>>,
+    routes: Vec<Option<Vec<RouteHop>>>,
+    stats: FailureStats,
+    /// Routable-SCC id per node (ring modes only).
+    scc_of: Vec<usize>,
+    /// Page already chosen for an SCC, once any member is placed.
+    scc_page: Vec<Option<u16>>,
+    /// Restart-diversity knob: order all candidates time-major (see
+    /// `place_node`).
+    time_major: bool,
+}
+
+impl<'a> Attempt<'a> {
+    fn new(mdfg: &'a MapDfg, cgra: &'a CgraConfig, mode: MapMode, ii: u32, opts: &'a MapOptions) -> Self {
+        let scc_of = if mode.ring_constrained() {
+            routable_scc_of(mdfg)
+        } else {
+            Vec::new()
+        };
+        let num_sccs = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+        Attempt {
+            mrt: Mrt::new(cgra.mesh(), ii, cgra.mem().buses_per_row()),
+            placed: vec![None; mdfg.dfg.num_nodes()],
+            routes: vec![None; mdfg.dfg.num_edges()],
+            stats: FailureStats {
+                edge_route_failures: vec![0; mdfg.dfg.num_edges()],
+            },
+            scc_of,
+            scc_page: vec![None; num_sccs],
+            time_major: false,
+            mdfg,
+            cgra,
+            mode,
+            ii,
+            opts,
+        }
+    }
+
+    /// Page bounds for node `v` under the ring path constraint: at least
+    /// the max page of placed (non-mem) predecessors, at most the min page
+    /// of placed (non-mem) successors; pinned exactly if an SCC sibling is
+    /// already placed.
+    fn page_bounds(&self, v: NodeId) -> (u16, u16) {
+        let layout = self.cgra.layout();
+        let last = layout.num_pages() as u16 - 1;
+        if !self.mode.ring_constrained() {
+            return (0, last);
+        }
+        if let Some(p) = self.scc_page[self.scc_of[v.index()]] {
+            return (p, p);
+        }
+        let dfg = &self.mdfg.dfg;
+        let mut lo = 0u16;
+        let mut hi = last;
+        for e in dfg.pred_edges(v) {
+            if self.mdfg.is_mem_edge(e.index()) {
+                continue;
+            }
+            let src = dfg.edge(e).src;
+            if src == v {
+                continue;
+            }
+            if let Some(pu) = self.placed[src.index()] {
+                lo = lo.max(layout.page_of(pu.pe).0);
+            } else if let Some(p) = self.scc_page[self.scc_of[src.index()]] {
+                // The producer is unplaced but its recurrence is already
+                // pinned: it will end up on page `p`.
+                lo = lo.max(p);
+            }
+        }
+        for e in dfg.succ_edges(v) {
+            if self.mdfg.is_mem_edge(e.index()) {
+                continue;
+            }
+            let dst = dfg.edge(e).dst;
+            if dst == v {
+                continue;
+            }
+            if let Some(pw) = self.placed[dst.index()] {
+                hi = hi.min(layout.page_of(pw.pe).0);
+            } else if let Some(p) = self.scc_page[self.scc_of[dst.index()]] {
+                hi = hi.min(p);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Route one edge incident to a tentative placement of `v` at `cand`.
+    /// Returns the plan, or `None` (recording the failure).
+    fn route_edge(&mut self, edge_index: usize, v: NodeId, cand: Placement) -> Option<RoutePlan> {
+        let e = self.mdfg.dfg.edge(cgra_dfg::EdgeId(edge_index as u32));
+        let (pu, pv) = if e.src == e.dst {
+            (cand, cand) // self-loop (accumulators)
+        } else if e.src == v {
+            (cand, self.placed[e.dst.index()].expect("dst placed"))
+        } else {
+            (self.placed[e.src.index()].expect("src placed"), cand)
+        };
+        let consume = pv.time as i64 + e.distance as i64 * self.ii as i64;
+        if self.mdfg.is_mem_edge(edge_index) {
+            // Timing only: load reads at `consume`, data visible t_u + 2.
+            return if consume >= pu.time as i64 + 2 {
+                Some(RoutePlan::Direct)
+            } else {
+                self.stats.edge_route_failures[edge_index] += 1;
+                None
+            };
+        }
+        let avail = pu.time + 1;
+        if consume < avail as i64 || consume > u32::MAX as i64 {
+            self.stats.edge_route_failures[edge_index] += 1;
+            return None;
+        }
+        let req = RouteRequest {
+            from_pe: pu.pe,
+            avail,
+            to_pe: pv.pe,
+            deadline: consume as u32,
+        };
+        // Fanout sharing: committed routes of sibling edges from the same
+        // producer already carry this value; later consumers may pick it
+        // up at any of their landings.
+        let sites: Vec<crate::route::ValueSite> = if self.mode.allows_waiting() {
+            self.mdfg
+                .dfg
+                .succ_edges(e.src)
+                .filter(|e2| e2.index() != edge_index && !self.mdfg.is_mem_edge(e2.index()))
+                .filter_map(|e2| self.routes[e2.index()].as_ref())
+                .flatten()
+                .map(|h| (h.pe, h.time + 1))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let plan = match self.mode {
+            MapMode::Baseline => route_baseline(self.cgra.mesh(), &self.mrt, req, &sites),
+            MapMode::Constrained => route_ring(
+                self.cgra.mesh(),
+                self.cgra.layout(),
+                &self.mrt,
+                req,
+                self.opts.chain_budget,
+                &sites,
+            ),
+            MapMode::ConstrainedStrict => route_strict(
+                self.cgra.mesh(),
+                self.cgra.layout(),
+                &self.mrt,
+                req,
+                self.opts.chain_budget,
+            ),
+        };
+        if plan.is_none() {
+            self.stats.edge_route_failures[edge_index] += 1;
+        }
+        plan
+    }
+
+    /// Try to commit `v` at `cand`: reserve its slot, route and reserve
+    /// every edge to already-placed neighbours. Rolls back on failure.
+    fn try_commit(&mut self, v: NodeId, cand: Placement) -> bool {
+        let op = self.mdfg.dfg.node(v).op;
+        if !self.mrt.pe_free(cand.pe, cand.time as u64) {
+            return false;
+        }
+        if op.is_mem() && !self.mrt.bus_free(cand.pe, cand.time as u64) {
+            return false;
+        }
+        self.mrt
+            .reserve(cand.pe, cand.time as u64, SlotUse::Compute(v.0), op.is_mem());
+
+        let mut committed_edges: Vec<(usize, Vec<RouteHop>)> = Vec::new();
+        let rollback = |attempt: &mut Self, committed: &[(usize, Vec<RouteHop>)]| {
+            for (ei, hops) in committed {
+                for h in hops {
+                    attempt
+                        .mrt
+                        .release(h.pe, h.time as u64, SlotUse::Route(*ei as u32), false);
+                }
+                attempt.routes[*ei] = None;
+            }
+            attempt
+                .mrt
+                .release(cand.pe, cand.time as u64, SlotUse::Compute(v.0), op.is_mem());
+        };
+
+        // Collect incident edges whose counterpart is already placed.
+        let incident: Vec<usize> = self
+            .mdfg
+            .dfg
+            .pred_edges(v)
+            .filter(|e| {
+                self.placed[self.mdfg.dfg.edge(*e).src.index()].is_some()
+                    || self.mdfg.dfg.edge(*e).src == v
+            })
+            .chain(self.mdfg.dfg.succ_edges(v).filter(|e| {
+                let dst = self.mdfg.dfg.edge(*e).dst;
+                dst != v && self.placed[dst.index()].is_some()
+            }))
+            .map(|e| e.index())
+            .collect();
+
+        for ei in incident {
+            match self.route_edge(ei, v, cand) {
+                Some(plan) => {
+                    let hops = plan.hops().to_vec();
+                    // Reserve hop slots; an intra-chain modulo alias is a
+                    // commit failure (rare; the restart will re-roll).
+                    let mut ok = true;
+                    let mut done = 0;
+                    for h in &hops {
+                        if !self.mrt.pe_free(h.pe, h.time as u64) {
+                            ok = false;
+                            break;
+                        }
+                        self.mrt
+                            .reserve(h.pe, h.time as u64, SlotUse::Route(ei as u32), false);
+                        done += 1;
+                    }
+                    if !ok {
+                        for h in hops.iter().take(done) {
+                            self.mrt
+                                .release(h.pe, h.time as u64, SlotUse::Route(ei as u32), false);
+                        }
+                        self.stats.edge_route_failures[ei] += 1;
+                        rollback(self, &committed_edges);
+                        return false;
+                    }
+                    self.routes[ei] = Some(hops.clone());
+                    committed_edges.push((ei, hops));
+                }
+                None => {
+                    rollback(self, &committed_edges);
+                    return false;
+                }
+            }
+        }
+        self.placed[v.index()] = Some(cand);
+        true
+    }
+
+    /// Place every node in `order`; true on success.
+    fn run(&mut self, order: &[NodeId], asap: &[u32], rng: &mut StdRng) -> bool {
+        for &v in order {
+            if !self.place_node(v, asap, rng) {
+                // Opt-in diagnostics for mapper tuning.
+                if std::env::var_os("CGRA_MAPPER_DEBUG").is_some() {
+                    let (plo, phi) = self.page_bounds(v);
+                    eprintln!(
+                        "[mapper] ii={} failed at {} ({:?}) asap={} pages=[{},{}]",
+                        self.ii,
+                        v,
+                        self.mdfg.dfg.node(v).op,
+                        asap[v.index()],
+                        plo,
+                        phi
+                    );
+                    for e in self.mdfg.dfg.pred_edges(v) {
+                        let src = self.mdfg.dfg.edge(e).src;
+                        if let Some(p) = self.placed[src.index()] {
+                            eprintln!(
+                                "[mapper]   pred {} ({:?}) at ({}, t{}) page {}",
+                                src,
+                                self.mdfg.dfg.node(src).op,
+                                p.pe,
+                                p.time,
+                                self.cgra.layout().page_of(p.pe)
+                            );
+                        }
+                    }
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// How many pages the kernel actually needs: enough PE slots for all
+    /// ops, and enough tile rows that memory ops do not saturate the row
+    /// buses within one II window.
+    fn used_pages_estimate(&self) -> u16 {
+        let layout = self.cgra.layout();
+        let total = layout.num_pages();
+        let shape = layout.shape();
+        let ii = self.ii as usize;
+        let nodes = self.mdfg.dfg.num_nodes();
+        let pages_for_ops = nodes.div_ceil(ii * shape.size());
+        let pages_per_tile_row = (self.cgra.mesh().cols() / shape.w) as usize;
+        let mem_slots_per_tile_row =
+            ii * shape.h as usize * self.cgra.mem().buses_per_row() as usize;
+        let mem_ops = self.mdfg.dfg.num_mem_ops();
+        let pages_for_mem = mem_ops.div_ceil(mem_slots_per_tile_row.max(1)) * pages_per_tile_row;
+        pages_for_ops.max(pages_for_mem).max(1).min(total) as u16
+    }
+
+    /// The page a node would ideally sit on: proportional to its ASAP
+    /// depth across the pages the kernel needs, so dataflow sweeps the
+    /// ring as a wavefront with small per-edge page advances while still
+    /// spreading memory ops over enough tile rows.
+    fn target_page(&self, v: NodeId, asap: &[u32], used_pages: u16) -> u16 {
+        let max_asap = asap.iter().copied().max().unwrap_or(0).max(1);
+        ((asap[v.index()] as u64 * (used_pages as u64 - 1)) / max_asap as u64) as u16
+    }
+
+    fn place_node(&mut self, v: NodeId, asap: &[u32], rng: &mut StdRng) -> bool {
+        let dfg = &self.mdfg.dfg;
+        let ii = self.ii as i64;
+
+        // Time window from placed neighbours.
+        let mut lo = asap[v.index()] as i64;
+        let mut hi = i64::MAX;
+        for e in dfg.pred_edges(v) {
+            let edge = dfg.edge(e);
+            if let Some(pu) = self.placed[edge.src.index()] {
+                lo = lo.max(pu.time as i64 + edge_latency(self.mdfg, e.index()) - ii * edge.distance as i64);
+            }
+        }
+        for e in dfg.succ_edges(v) {
+            let edge = dfg.edge(e);
+            if edge.dst == v {
+                continue;
+            }
+            if let Some(pw) = self.placed[edge.dst.index()] {
+                hi = hi.min(pw.time as i64 - edge_latency(self.mdfg, e.index()) + ii * edge.distance as i64);
+            }
+        }
+        lo = lo.max(0);
+        if hi < lo {
+            return false;
+        }
+        let hi_window = hi.min(lo + 2 * ii - 1);
+
+        // Candidate PEs: within the legal page range, ordered by page
+        // (earliest legal page first — compact forward flow), then by
+        // mesh affinity to placed neighbours.
+        let (page_lo, page_hi) = self.page_bounds(v);
+        if page_hi < page_lo {
+            return false;
+        }
+        let neighbour_pes: Vec<cgra_arch::PeId> = dfg
+            .pred_edges(v)
+            .map(|e| dfg.edge(e).src)
+            .chain(dfg.succ_edges(v).map(|e| dfg.edge(e).dst))
+            .filter(|&n| n != v)
+            .filter_map(|n| self.placed[n.index()].map(|p| p.pe))
+            .collect();
+        let mesh = self.cgra.mesh();
+        let layout = self.cgra.layout();
+        let pes: Vec<(u16, u32, cgra_arch::PeId)> = mesh
+            .pes()
+            .filter(|&pe| {
+                let p = layout.page_of(pe).0;
+                (page_lo..=page_hi).contains(&p)
+            })
+            .map(|pe| {
+                let affinity: u32 = neighbour_pes.iter().map(|&np| mesh.distance(pe, np)).sum();
+                // Ring modes flow forward as a wavefront: prefer pages
+                // near the ASAP-proportional target. Baseline placement is
+                // page-agnostic (affinity only).
+                let page_key = if self.mode.ring_constrained() {
+                    let used = self.used_pages_estimate();
+                    let target = self.target_page(v, asap, used).clamp(page_lo, page_hi);
+                    layout.page_of(pe).0.abs_diff(target)
+                } else {
+                    0
+                };
+                (page_key, affinity + rng.gen_range(0..3), pe)
+            })
+            .collect();
+        // Candidate order. For *source* ops (no placed producers — loads,
+        // constants) the best page comes first: time-major ordering would
+        // exhaust each row bus's slot 0 across the whole array, scattering
+        // co-consumed loads onto far pages. For ops with placed producers
+        // the earliest time comes first (tight schedules), with the page
+        // preference breaking ties.
+        let has_placed_pred = dfg.pred_edges(v).any(|e| {
+            let src = dfg.edge(e).src;
+            src != v && self.placed[src.index()].is_some() && !self.mdfg.is_mem_edge(e.index())
+        }) || self.time_major;
+        let mut candidates: Vec<(u64, cgra_arch::PeId, i64)> = Vec::new();
+        for t in lo..=hi_window {
+            for &(page_key, aff, pe) in &pes {
+                let key = if has_placed_pred {
+                    ((t - lo) as u64) << 32 | (page_key as u64) << 16 | aff as u64
+                } else {
+                    (page_key as u64) << 32 | ((t - lo) as u64) << 16 | aff as u64
+                };
+                candidates.push((key, pe, t));
+            }
+        }
+        candidates.sort_unstable();
+
+        for &(_, pe, t) in &candidates {
+            let cand = Placement {
+                pe,
+                time: t as u32,
+            };
+            if self.try_commit(v, cand) {
+                if self.mode.ring_constrained() {
+                    self.scc_page[self.scc_of[v.index()]] = Some(layout.page_of(pe).0);
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of [`schedule`]: a mapping plus the failure statistics of the
+/// unsuccessful attempts (for spill selection).
+pub struct ScheduleOutcome {
+    /// The mapping, if one was found.
+    pub mapping: Result<Mapping, MapError>,
+    /// Accumulated routing-failure counts per edge.
+    pub stats: FailureStats,
+}
+
+/// Search for a modulo schedule of `mdfg` on `cgra` under `mode`, between
+/// the MII and `mii + opts.max_ii_slack`.
+pub fn schedule(mdfg: &MapDfg, cgra: &CgraConfig, mode: MapMode, opts: &MapOptions) -> ScheduleOutcome {
+    schedule_from(mdfg, cgra, mode, opts, None)
+}
+
+/// Like [`schedule`] but starting the II search at `start_ii` (used by the
+/// constrained mapper to hold II fixed across spill rounds).
+pub fn schedule_from(
+    mdfg: &MapDfg,
+    cgra: &CgraConfig,
+    mode: MapMode,
+    opts: &MapOptions,
+    start_ii: Option<u32>,
+) -> ScheduleOutcome {
+    let mii = mii_with_mem(mdfg, cgra);
+    let lo = start_ii.unwrap_or(mii).max(mii);
+    let hi = mii + opts.max_ii_slack;
+    let mut stats = FailureStats {
+        edge_route_failures: vec![0; mdfg.dfg.num_edges()],
+    };
+    let heights = cgra_dfg::analysis::heights(&mdfg.dfg);
+
+    for ii in lo..=hi {
+        let Some(asap) = asap_with_mem(mdfg, ii) else {
+            continue;
+        };
+        // Height-first order (ties by ASAP then id), jittered per restart.
+        for restart in 0..opts.restarts {
+            let mut rng = StdRng::seed_from_u64(
+                opts.seed ^ (ii as u64) << 32 ^ restart as u64,
+            );
+            let mut order: Vec<NodeId> = mdfg.dfg.node_ids().collect();
+            let jitter: Vec<u32> = order
+                .iter()
+                .map(|_| if restart == 0 { 0 } else { rng.gen_range(0..3) })
+                .collect();
+            // ASAP-primary keeps producers ahead of their intra-iteration
+            // consumers (a consumer placed first would box its producers
+            // into a tiny time window); height breaks ties toward the
+            // critical path, jittered across restarts for diversity.
+            order.sort_by_key(|n| {
+                (
+                    asap[n.index()],
+                    std::cmp::Reverse(heights[n.index()] + jitter[n.index()]),
+                    n.0,
+                )
+            });
+            let mut attempt = Attempt::new(mdfg, cgra, mode, ii, opts);
+            // Alternate candidate-ordering strategy across restarts: some
+            // kernels pack better page-major (bus-heavy), others
+            // time-major (dependence-heavy).
+            attempt.time_major = restart % 2 == 1;
+            if attempt.run(&order, &asap, &mut rng) {
+                let mapping = Mapping {
+                    ii,
+                    placements: attempt
+                        .placed
+                        .into_iter()
+                        .map(|p| p.expect("all nodes placed on success"))
+                        .collect(),
+                    routes: attempt
+                        .routes
+                        .into_iter()
+                        .map(|r| r.unwrap_or_default())
+                        .collect(),
+                };
+                // Acceptance gate: the engine does not track RF pressure
+                // incrementally (waiting values accumulate per PE), so a
+                // "successful" attempt can still overflow a register
+                // file. Re-check everything with the independent
+                // validator; on failure, roll the dice again.
+                let violations = crate::mapping::validate_mapping(mdfg, cgra, &mapping, mode);
+                if violations.is_empty() {
+                    return ScheduleOutcome {
+                        mapping: Ok(mapping),
+                        stats,
+                    };
+                }
+                if std::env::var_os("CGRA_MAPPER_DEBUG").is_some() {
+                    eprintln!(
+                        "[mapper] ii={ii} restart {restart}: attempt rejected: {violations:?}"
+                    );
+                }
+            }
+            for (a, b) in stats
+                .edge_route_failures
+                .iter_mut()
+                .zip(&attempt.stats.edge_route_failures)
+            {
+                *a += *b;
+            }
+        }
+        if start_ii.is_some() {
+            // Spill-round mode: caller controls the II ladder.
+            break;
+        }
+    }
+    ScheduleOutcome {
+        mapping: Err(MapError::NoScheduleFound {
+            mii,
+            max_ii_tried: hi,
+        }),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate_mapping;
+    use cgra_dfg::{DfgBuilder, OpKind};
+
+    fn chain3() -> MapDfg {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.node(OpKind::Load);
+        let y = b.apply(OpKind::Add, &[x]);
+        b.apply(OpKind::Store, &[y]);
+        MapDfg::unspilled(&b.build().unwrap())
+    }
+
+    #[test]
+    fn asap_with_mem_adds_store_latency() {
+        let mut b = DfgBuilder::new("m");
+        let u = b.node(OpKind::Load);
+        let v = b.apply(OpKind::Add, &[u]);
+        b.apply(OpKind::Store, &[v]);
+        let g = b.build().unwrap();
+        let spilled = MapDfg::with_spills(&g, &std::collections::BTreeSet::from([0]));
+        let plain = asap_with_mem(&MapDfg::unspilled(&g), 4).unwrap();
+        let aug = asap_with_mem(&spilled, 4).unwrap();
+        // In the spilled graph, `v` starts at least 4 cycles after `u`
+        // (1 store + 2 mem + 1 load) instead of 1.
+        assert_eq!(plain[1] - plain[0], 1);
+        assert!(aug[1] >= aug[0] + 4);
+    }
+
+    #[test]
+    fn schedules_simple_chain_at_ii_one() {
+        let mdfg = chain3();
+        let cgra = cgra_arch::CgraConfig::square(4);
+        let out = schedule(&mdfg, &cgra, MapMode::Baseline, &MapOptions::default());
+        let m = out.mapping.expect("chain maps");
+        assert_eq!(m.ii, 1);
+        assert!(validate_mapping(&mdfg, &cgra, &m, MapMode::Baseline).is_empty());
+    }
+
+    #[test]
+    fn constrained_schedules_simple_chain() {
+        let mdfg = chain3();
+        let cgra = cgra_arch::CgraConfig::square(4);
+        let out = schedule(&mdfg, &cgra, MapMode::Constrained, &MapOptions::default());
+        let m = out.mapping.expect("chain maps under constraints");
+        assert!(validate_mapping(&mdfg, &cgra, &m, MapMode::Constrained).is_empty());
+    }
+
+    #[test]
+    fn respects_rec_mii() {
+        let mut b = DfgBuilder::new("rec");
+        let a = b.node(OpKind::Add);
+        let c = b.apply(OpKind::Add, &[a]);
+        let d = b.apply(OpKind::Add, &[c]);
+        b.carried_edge(d, a, 1);
+        let mdfg = MapDfg::unspilled(&b.build().unwrap());
+        let cgra = cgra_arch::CgraConfig::square(4);
+        let out = schedule(&mdfg, &cgra, MapMode::Baseline, &MapOptions::default());
+        let m = out.mapping.expect("recurrent kernel maps");
+        assert!(m.ii >= 3);
+        assert!(validate_mapping(&mdfg, &cgra, &m, MapMode::Baseline).is_empty());
+    }
+
+    #[test]
+    fn too_many_nodes_raise_ii() {
+        // 20 independent const nodes on a 4x4: ResMII = 2.
+        let mut b = DfgBuilder::new("wide");
+        let mut prev = b.node(OpKind::Load);
+        for _ in 0..18 {
+            prev = b.apply(OpKind::Add, &[prev]);
+        }
+        b.apply(OpKind::Store, &[prev]);
+        let mdfg = MapDfg::unspilled(&b.build().unwrap());
+        let cgra = cgra_arch::CgraConfig::square(4);
+        let out = schedule(&mdfg, &cgra, MapMode::Baseline, &MapOptions::default());
+        let m = out.mapping.expect("deep chain maps");
+        assert!(m.ii >= 2);
+        assert!(validate_mapping(&mdfg, &cgra, &m, MapMode::Baseline).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Mapper errors.
+
+use serde::{Deserialize, Serialize};
+
+/// Why mapping failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapError {
+    /// No feasible schedule found up to the II search limit.
+    NoScheduleFound {
+        /// The minimum II the search started from.
+        mii: u32,
+        /// The last II attempted.
+        max_ii_tried: u32,
+    },
+    /// The DFG cannot fit this fabric at any II (e.g. more live constants
+    /// than PEs on a one-page ring that a recurrence cannot leave).
+    Unmappable {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NoScheduleFound { mii, max_ii_tried } => write!(
+                f,
+                "no feasible schedule found between II={mii} and II={max_ii_tried}"
+            ),
+            MapError::Unmappable { reason } => write!(f, "unmappable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MapError::NoScheduleFound {
+            mii: 2,
+            max_ii_tried: 18,
+        };
+        assert!(e.to_string().contains("II=2"));
+        assert!(e.to_string().contains("II=18"));
+    }
+}

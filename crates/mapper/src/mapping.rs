@@ -1,0 +1,682 @@
+//! Mappings — the mapper's output — and their independent validation.
+//!
+//! A [`Mapping`] binds every DFG node to a (PE, time) and every routable
+//! edge to a chain of routing hops. [`validate_mapping`] re-derives every
+//! legality condition from scratch (never trusting the engine that built
+//! the mapping); it is the correctness anchor for the whole crate and the
+//! oracle for the property tests.
+//!
+//! # Dataflow semantics
+//!
+//! All operations have latency 1. A value produced by `u` at `(pe_u, t_u)`
+//! becomes *available* at `pe_u` at `t_u + 1`. An edge `u → v` with
+//! iteration distance `d` is consumed at `T = t_v + d·II`.
+//!
+//! * **Direct** (no hops): the consumer reads from its own RF
+//!   (`pe_v == pe_u`) or across one interconnect link
+//!   (`pe_v` adjacent to `pe_u`).
+//! * **Chain**: routing hops `h_1 … h_k`; hop `i` executes a `Route` op at
+//!   `(l_i, s_i)` reading the value from the previous location (available
+//!   there at `s_i`), republishing it at `l_i` at `s_i + 1`. Hops occupy
+//!   MRT slots.
+//! * **Memory edge** (`store ⇒ load`, see [`crate::spill`]): no routing;
+//!   requires `T ≥ t_store + 2` (one cycle to execute the store, one for
+//!   visibility).
+//!
+//! # Modes
+//!
+//! [`MapMode::Baseline`] allows values to *wait* in RFs (free gaps between
+//! availability and use, bounded only by RF capacity) and routes freely,
+//! as conventional mappers do. [`MapMode::Constrained`] adds the paper's
+//! §VI-B data-flow constraint under the stable-column shrink discipline:
+//! every dataflow step (direct read, routing hop, final read) must stay on
+//! its page or advance one page along the ring *path*; parking is still
+//! allowed because the shrink transform keeps each page's column fixed.
+//! [`MapMode::ConstrainedStrict`] additionally forbids waiting, yielding
+//! page schedules with only the canonical `(n,t−1)`/`(n−1,t−1)`
+//! dependences of §VI-C — the input form for the paper's drifting
+//! Algorithm 1 placement. Dependences no discipline can realise are
+//! spilled through memory (§VI-B.1).
+
+use crate::mrt::{Mrt, SlotUse};
+use crate::spill::MapDfg;
+use cgra_arch::page::PageLayout;
+use cgra_arch::pe::FuClass;
+use cgra_arch::register::PressureTracker;
+use cgra_arch::topology::PeId;
+use cgra_arch::CgraConfig;
+use serde::{Deserialize, Serialize};
+
+/// Where and when one node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The PE executing the op.
+    pub pe: PeId,
+    /// Absolute schedule time (the op repeats every II cycles).
+    pub time: u32,
+}
+
+/// One routing hop: a `Route` pseudo-op at `(pe, time)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteHop {
+    /// The PE that forwards the value.
+    pub pe: PeId,
+    /// The cycle it forwards (occupies MRT slot `time mod II`).
+    pub time: u32,
+}
+
+/// Scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapMode {
+    /// Conventional mapping: RF parking allowed, routing unconstrained.
+    Baseline,
+    /// The paper's paging constraints under the stable-column shrink
+    /// discipline: RF parking allowed, but every dataflow step must stay
+    /// on its page or advance one page along the ring path.
+    Constrained,
+    /// The strict 1-step discipline: additionally no parking — every
+    /// cycle the value hops (possibly onto its own PE). Produces purely
+    /// canonical page schedules for the paper's drifting Algorithm 1.
+    ConstrainedStrict,
+}
+
+impl MapMode {
+    /// Whether values may wait in RFs between production and use.
+    pub fn allows_waiting(self) -> bool {
+        !matches!(self, MapMode::ConstrainedStrict)
+    }
+
+    /// Whether dataflow must follow the page ring.
+    pub fn ring_constrained(self) -> bool {
+        !matches!(self, MapMode::Baseline)
+    }
+}
+
+/// A complete modulo schedule for one kernel on one fabric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Per-node placement, indexed by `NodeId`.
+    pub placements: Vec<Placement>,
+    /// Per-edge routing hops (empty for direct and memory edges).
+    pub routes: Vec<Vec<RouteHop>>,
+}
+
+impl Mapping {
+    /// PE-slot utilization of the schedule including routing overhead:
+    /// occupied slots / (num_pes × II).
+    pub fn utilization(&self, num_pes: usize) -> f64 {
+        let used = self.placements.len() + self.routes.iter().map(Vec::len).sum::<usize>();
+        used as f64 / (num_pes as f64 * self.ii as f64)
+    }
+
+    /// Number of routing hops across all edges.
+    pub fn total_route_hops(&self) -> usize {
+        self.routes.iter().map(Vec::len).sum()
+    }
+
+    /// The schedule length (latest op start + 1).
+    pub fn makespan(&self) -> u32 {
+        self.placements
+            .iter()
+            .map(|p| p.time + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A violation found by [`validate_mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two reservations collide in the MRT.
+    SlotConflict {
+        /// The PE where the collision happens.
+        pe: PeId,
+        /// The modulo slot.
+        slot: u32,
+    },
+    /// A row bus is over capacity at some slot.
+    BusOverflow {
+        /// The row.
+        row: u16,
+        /// The modulo slot.
+        slot: u32,
+    },
+    /// An edge's dataflow is illegal (timing, adjacency, contiguity…).
+    BadEdge {
+        /// Edge index in the mapped graph.
+        edge: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A node sits on a PE lacking the needed functional unit.
+    BadCapability {
+        /// Node index.
+        node: usize,
+    },
+    /// The constrained ring discipline is broken.
+    RingViolation {
+        /// Edge index.
+        edge: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Rotating register file pressure exceeds capacity (baseline mode).
+    RfOverflow {
+        /// The PE whose RF overflows.
+        pe: PeId,
+        /// Registers required.
+        required: u32,
+        /// Registers available.
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::SlotConflict { pe, slot } => write!(f, "slot conflict at ({pe}, {slot})"),
+            Violation::BusOverflow { row, slot } => {
+                write!(f, "row {row} bus over capacity at slot {slot}")
+            }
+            Violation::BadEdge { edge, reason } => write!(f, "edge #{edge}: {reason}"),
+            Violation::BadCapability { node } => write!(f, "node #{node}: missing FU"),
+            Violation::RingViolation { edge, reason } => {
+                write!(f, "edge #{edge} breaks ring constraint: {reason}")
+            }
+            Violation::RfOverflow {
+                pe,
+                required,
+                available,
+            } => write!(f, "{pe}: RF needs {required} regs, has {available}"),
+        }
+    }
+}
+
+fn ring_step_ok(layout: &PageLayout, from: PeId, to: PeId) -> bool {
+    layout.is_ring_step(layout.page_of(from), layout.page_of(to))
+}
+
+/// Re-derive every legality condition of `mapping` for `mdfg` on `cgra`
+/// under `mode`. Returns all violations found (empty = valid).
+pub fn validate_mapping(
+    mdfg: &MapDfg,
+    cgra: &CgraConfig,
+    mapping: &Mapping,
+    mode: MapMode,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let dfg = &mdfg.dfg;
+    let mesh = cgra.mesh();
+    let layout = cgra.layout();
+    let ii = mapping.ii;
+
+    if mapping.placements.len() != dfg.num_nodes() || mapping.routes.len() != dfg.num_edges() {
+        violations.push(Violation::BadEdge {
+            edge: usize::MAX,
+            reason: format!(
+                "shape mismatch: {} placements for {} nodes, {} routes for {} edges",
+                mapping.placements.len(),
+                dfg.num_nodes(),
+                mapping.routes.len(),
+                dfg.num_edges()
+            ),
+        });
+        return violations;
+    }
+
+    // --- Resource reservations: rebuild the MRT from scratch. ---
+    let mut mrt = Mrt::new(mesh, ii, cgra.mem().buses_per_row());
+    for (i, p) in mapping.placements.iter().enumerate() {
+        let op = dfg.node(cgra_dfg::NodeId(i as u32)).op;
+        let class = if op.is_mem() {
+            FuClass::Mem
+        } else if op.is_mul() {
+            FuClass::Mul
+        } else {
+            FuClass::Alu
+        };
+        if !cgra.capability().supports(class) {
+            violations.push(Violation::BadCapability { node: i });
+        }
+        if !mrt.pe_free(p.pe, p.time as u64) {
+            violations.push(Violation::SlotConflict {
+                pe: p.pe,
+                slot: p.time % ii,
+            });
+            continue;
+        }
+        if op.is_mem() && !mrt.bus_free(p.pe, p.time as u64) {
+            violations.push(Violation::BusOverflow {
+                row: mesh.pos(p.pe).r,
+                slot: p.time % ii,
+            });
+            continue;
+        }
+        mrt.reserve(p.pe, p.time as u64, SlotUse::Compute(i as u32), op.is_mem());
+    }
+    for (ei, hops) in mapping.routes.iter().enumerate() {
+        for h in hops {
+            if !mrt.pe_free(h.pe, h.time as u64) {
+                violations.push(Violation::SlotConflict {
+                    pe: h.pe,
+                    slot: h.time % ii,
+                });
+                continue;
+            }
+            mrt.reserve(h.pe, h.time as u64, SlotUse::Route(ei as u32), false);
+        }
+    }
+
+    // --- Per-edge dataflow legality. ---
+    // Track RF holds for baseline pressure accounting:
+    // (pe, avail_from, held_until).
+    let mut holds: Vec<(PeId, u32, u32)> = Vec::new();
+
+    // Fanout sharing (modes with waiting): a hop or final read may pick
+    // the value up from any landing of a sibling edge's route (same
+    // producer), not only from this edge's own chain. Collect the sites.
+    let sites_of = |src: cgra_dfg::NodeId, this_edge: usize| -> Vec<(PeId, u32)> {
+        if !mode.allows_waiting() {
+            return Vec::new();
+        }
+        let mut sites = Vec::new();
+        for e2 in dfg.succ_edges(src) {
+            if e2.index() == this_edge || mdfg.is_mem_edge(e2.index()) {
+                continue;
+            }
+            for h in &mapping.routes[e2.index()] {
+                sites.push((h.pe, h.time + 1));
+            }
+        }
+        sites
+    };
+
+    for (ei, e) in dfg.edges().enumerate() {
+        let pu = mapping.placements[e.src.index()];
+        let pv = mapping.placements[e.dst.index()];
+        let avail0 = pu.time + 1;
+        let consume = pv.time as u64 + e.distance as u64 * ii as u64;
+        let hops = &mapping.routes[ei];
+
+        if mdfg.is_mem_edge(ei) {
+            if !hops.is_empty() {
+                violations.push(Violation::BadEdge {
+                    edge: ei,
+                    reason: "memory edge must not be routed".into(),
+                });
+            }
+            // store at t_u executes by t_u+1; datum visible t_u+2.
+            if consume < pu.time as u64 + 2 {
+                violations.push(Violation::BadEdge {
+                    edge: ei,
+                    reason: format!(
+                        "load at {} before store data visible at {}",
+                        consume,
+                        pu.time + 2
+                    ),
+                });
+            }
+            continue;
+        }
+
+        let sites = sites_of(e.src, ei);
+
+        // A reader at (`to`, `read_time`) may take the value from the
+        // current chain location or any sharing site. Returns the source
+        // used (for hold accounting), or None.
+        let pick_source = |loc: PeId,
+                           avail: u32,
+                           to: PeId,
+                           read_time: u64,
+                           strict_from_loc_only: bool|
+         -> Option<(PeId, u32)> {
+            let legal = |pe: PeId, a: u32| {
+                (pe == to || mesh.adjacent(pe, to))
+                    && read_time >= a as u64
+                    && (mode.allows_waiting() || read_time == a as u64)
+                    && (!mode.ring_constrained() || ring_step_ok(layout, pe, to))
+            };
+            if legal(loc, avail) {
+                return Some((loc, avail));
+            }
+            if strict_from_loc_only {
+                return None;
+            }
+            sites.iter().copied().find(|&(pe, a)| legal(pe, a))
+        };
+
+        // Walk the chain (possibly empty).
+        let mut loc = pu.pe;
+        let mut avail = avail0;
+        let mut ok = true;
+        for (hi, h) in hops.iter().enumerate() {
+            match pick_source(loc, avail, h.pe, h.time as u64, !mode.allows_waiting()) {
+                Some((spe, sa)) => {
+                    if mode.allows_waiting() && h.time > sa {
+                        holds.push((spe, sa, h.time));
+                    }
+                    avail = h.time + 1;
+                    loc = h.pe;
+                }
+                None => {
+                    // Classify: ring-only failures get the dedicated kind.
+                    let ring_blocked = mode.ring_constrained()
+                        && (loc == h.pe || mesh.adjacent(loc, h.pe))
+                        && h.time as u64 >= avail as u64
+                        && !ring_step_ok(layout, loc, h.pe);
+                    violations.push(if ring_blocked {
+                        Violation::RingViolation {
+                            edge: ei,
+                            reason: format!("hop {hi}: {} to {}", loc, h.pe),
+                        }
+                    } else {
+                        Violation::BadEdge {
+                            edge: ei,
+                            reason: format!(
+                                "hop {hi} at ({}, {}) unreachable from {} (avail {avail}) \
+                                 or any sharing site",
+                                h.pe, h.time, loc
+                            ),
+                        }
+                    });
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Final read by the consumer at `consume`.
+        match pick_source(loc, avail, pv.pe, consume, !mode.allows_waiting()) {
+            Some((spe, sa)) => {
+                if mode.allows_waiting() && consume > sa as u64 {
+                    holds.push((spe, sa, consume as u32));
+                }
+            }
+            None => {
+                let ring_blocked = mode.ring_constrained()
+                    && (loc == pv.pe || mesh.adjacent(loc, pv.pe))
+                    && consume >= avail as u64
+                    && !ring_step_ok(layout, loc, pv.pe);
+                violations.push(if ring_blocked {
+                    Violation::RingViolation {
+                        edge: ei,
+                        reason: format!("final read: {} to {}", loc, pv.pe),
+                    }
+                } else {
+                    Violation::BadEdge {
+                        edge: ei,
+                        reason: format!(
+                            "consumer at ({}, {consume}) cannot read the value \
+                             (chain at {} from {avail}, {} sharing sites)",
+                            pv.pe,
+                            loc,
+                            sites.len()
+                        ),
+                    }
+                });
+            }
+        }
+    }
+
+    // --- RF pressure (strict mappings never park). ---
+    if mode.allows_waiting() {
+        let mut per_pe: std::collections::HashMap<PeId, PressureTracker> =
+            std::collections::HashMap::new();
+        for (pe, from, until) in holds {
+            if until > from {
+                per_pe
+                    .entry(pe)
+                    .or_default()
+                    .add_range(from as u64, until as u64);
+            }
+        }
+        for (pe, tracker) in per_pe {
+            let required = tracker.registers_required(ii);
+            if required > cgra.rf().size() as u32 {
+                violations.push(Violation::RfOverflow {
+                    pe,
+                    required,
+                    available: cgra.rf().size() as u32,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::{DfgBuilder, OpKind};
+
+    fn two_op_kernel() -> MapDfg {
+        let mut b = DfgBuilder::new("t");
+        let u = b.node(OpKind::Load);
+        b.apply(OpKind::Store, &[u]);
+        MapDfg::unspilled(&b.build().unwrap())
+    }
+
+    fn cgra() -> CgraConfig {
+        CgraConfig::square(4)
+    }
+
+    fn place(pairs: &[(u16, u32)], ii: u32, nroutes: usize) -> Mapping {
+        Mapping {
+            ii,
+            placements: pairs
+                .iter()
+                .map(|&(pe, time)| Placement { pe: PeId(pe), time })
+                .collect(),
+            routes: vec![Vec::new(); nroutes],
+        }
+    }
+
+    #[test]
+    fn adjacent_direct_edge_validates() {
+        let m = two_op_kernel();
+        // PE0 -> PE1 (adjacent), times 0 -> 1. II=2 keeps the two memory
+        // ops on distinct row-bus slots.
+        let mapping = place(&[(0, 0), (1, 1)], 2, 1);
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline).is_empty());
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Constrained).is_empty());
+    }
+
+    #[test]
+    fn non_adjacent_direct_edge_fails() {
+        let m = two_op_kernel();
+        // PE0 -> PE5 are not adjacent (diagonal).
+        let mapping = place(&[(0, 0), (5, 1)], 1, 1);
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline);
+        assert!(matches!(v[0], Violation::BadEdge { .. }));
+    }
+
+    #[test]
+    fn consuming_before_available_fails() {
+        let m = two_op_kernel();
+        // Consumer at t=4 while the value only exists from t=6.
+        let mapping = place(&[(0, 5), (1, 4)], 8, 1);
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn parking_allowed_except_in_strict_mode() {
+        let m = two_op_kernel();
+        // Consumer 3 cycles after availability, same page (PE0 -> PE1).
+        let mapping = place(&[(0, 0), (1, 4)], 8, 1);
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline).is_empty());
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Constrained).is_empty());
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::ConstrainedStrict);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn slot_conflict_detected() {
+        let mut b = DfgBuilder::new("t");
+        let u = b.node(OpKind::Const);
+        let w = b.node(OpKind::Const);
+        let s = b.apply(OpKind::Add, &[u, w]);
+        let _ = s;
+        let m = MapDfg::unspilled(&b.build().unwrap());
+        // u and w both on PE0 at congruent times (0 and 2, II=2).
+        let mapping = place(&[(0, 0), (0, 2), (1, 3)], 2, 2);
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline);
+        assert!(v.iter().any(|x| matches!(x, Violation::SlotConflict { .. })));
+    }
+
+    #[test]
+    fn bus_overflow_detected() {
+        let mut b = DfgBuilder::new("t");
+        let l1 = b.node(OpKind::Load);
+        let l2 = b.node(OpKind::Load);
+        let s = b.apply(OpKind::Add, &[l1, l2]);
+        let _ = s;
+        let m = MapDfg::unspilled(&b.build().unwrap());
+        // Two loads on row 0 at the same slot with 1 bus/row.
+        let mapping = place(&[(0, 0), (1, 0), (2, 1)], 1, 2);
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline);
+        assert!(v.iter().any(|x| matches!(x, Violation::BusOverflow { .. })));
+    }
+
+    #[test]
+    fn chain_route_validates() {
+        let m = two_op_kernel();
+        // PE0 -> PE2 via hop on PE1: u at t0 (avail t1), hop(PE1, t1),
+        // avail at PE2... hop republishes at PE1 at t2; consumer on PE2
+        // reads across link at t2.
+        let mapping = Mapping {
+            ii: 4,
+            placements: vec![
+                Placement {
+                    pe: PeId(0),
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId(2),
+                    time: 2,
+                },
+            ],
+            routes: vec![vec![RouteHop {
+                pe: PeId(1),
+                time: 1,
+            }]],
+        };
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline).is_empty());
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::ConstrainedStrict).is_empty());
+    }
+
+    #[test]
+    fn gap_in_chain_fails_strict_only() {
+        let m = two_op_kernel();
+        let mapping = Mapping {
+            ii: 8,
+            placements: vec![
+                Placement {
+                    pe: PeId(0),
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId(2),
+                    time: 4,
+                },
+            ],
+            // Hop waits until t3 (value parked at PE0 cycles 1-3).
+            routes: vec![vec![RouteHop {
+                pe: PeId(1),
+                time: 3,
+            }]],
+        };
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline).is_empty());
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Constrained).is_empty());
+        assert!(!validate_mapping(&m, &cgra(), &mapping, MapMode::ConstrainedStrict).is_empty());
+    }
+
+    #[test]
+    fn ring_violation_detected() {
+        // 4x4 with 2x2 pages: PE0 is page 0; PE12 (row 3, col 0) is page 3.
+        // Page 3 -> page 1 is not a ring step.
+        let mut b = DfgBuilder::new("t");
+        let u = b.node(OpKind::Const);
+        b.apply(OpKind::Add, &[u]);
+        let m = MapDfg::unspilled(&b.build().unwrap());
+        let c = cgra();
+        // PE8 (row2, col0) page 3; PE4 (row1, col0) page 0. page3 -> page0
+        // IS the ring wrap (allowed). Pick page1 -> page0 instead: PE3
+        // (row0,col3) page 1 -> PE2 (row0,col2)... page_of(PE2): row0,col2
+        // => origin (0,2) => page 1 too. Use PE2->PE1: PE1 is page 0.
+        // page1 -> page0 is backwards: violation.
+        let mapping = place(&[(2, 0), (1, 1)], 2, 1);
+        let v = validate_mapping(&m, &c, &mapping, MapMode::Constrained);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::RingViolation { .. })),
+            "{v:?}"
+        );
+        // Baseline does not care.
+        assert!(validate_mapping(&m, &c, &mapping, MapMode::Baseline).is_empty());
+    }
+
+    #[test]
+    fn ring_wrap_is_rejected_under_path_semantics() {
+        // Page 3 (bottom-left quadrant) -> page 0 (top-left) is the wrap
+        // link; the mapper's path semantics forbid it even though the
+        // quadrant pages are physically adjacent, so that shrunk
+        // schedules never rely on the wrap (DESIGN.md section 4.1).
+        let m = two_op_kernel();
+        let mapping = place(&[(8, 0), (4, 1)], 2, 1);
+        let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Constrained);
+        assert!(v.iter().any(|x| matches!(x, Violation::RingViolation { .. })));
+    }
+
+    #[test]
+    fn mem_edge_needs_two_cycles() {
+        let mut b = DfgBuilder::new("t");
+        let u = b.node(OpKind::Load);
+        let v = b.apply(OpKind::Add, &[u]);
+        b.apply(OpKind::Store, &[v]);
+        let g = b.build().unwrap();
+        let m = MapDfg::with_spills(&g, &std::collections::BTreeSet::from([0]));
+        // Nodes: ld(0), add(1), st(2), spill_st(3), spill_ld(4).
+        // Edges: add->st, ld->spill_st, spill_st=>spill_ld, spill_ld->add.
+        // Place: ld PE0@0; spill_st PE1@1; spill_ld anywhere @3 (>= 1+2);
+        // add PE5@4 adjacent to spill_ld PE6... keep simple distances.
+        let mapping = Mapping {
+            ii: 8,
+            placements: vec![
+                Placement { pe: PeId(0), time: 0 },  // ld
+                Placement { pe: PeId(10), time: 5 }, // add
+                Placement { pe: PeId(11), time: 6 }, // st
+                Placement { pe: PeId(1), time: 1 },  // spill_st
+                Placement { pe: PeId(9), time: 4 },  // spill_ld (adj to 10? 9 and 10 adjacent yes)
+            ],
+            routes: vec![Vec::new(); 4],
+        };
+        assert!(validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline).is_empty());
+        // Move the load before visibility: time 2 < 1+2.
+        let mut bad = mapping;
+        bad.placements[4].time = 2;
+        bad.placements[1].time = 3;
+        bad.placements[2].time = 4;
+        let v = validate_mapping(&m, &cgra(), &bad, MapMode::Baseline);
+        assert!(v.iter().any(|x| matches!(x, Violation::BadEdge { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn rf_overflow_detected() {
+        // Tiny RF (1 reg) and two long parks on the same PE.
+        let mut b = DfgBuilder::new("t");
+        let u = b.node(OpKind::Const);
+        let v1 = b.apply(OpKind::Add, &[u]);
+        let v2 = b.apply(OpKind::Add, &[u]);
+        let _ = (v1, v2);
+        let m = MapDfg::unspilled(&b.build().unwrap());
+        let c = cgra().with_rf_size(1);
+        let mapping = place(&[(0, 0), (1, 9), (4, 9)], 2, 2);
+        let v = validate_mapping(&m, &c, &mapping, MapMode::Baseline);
+        assert!(v.iter().any(|x| matches!(x, Violation::RfOverflow { .. })), "{v:?}");
+    }
+}

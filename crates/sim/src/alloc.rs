@@ -1,0 +1,310 @@
+//! The OS page allocator (§VII-B.1).
+//!
+//! Budgets move along the halving chain: "when another thread requests
+//! access to the CGRA, the thread using the most pages is decreased to use
+//! half as many pages and the new thread is resized to fit into the freed
+//! portion … threads are expanded as other threads complete."
+
+use crate::kernel_lib::halving_chain;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How freed pages are redistributed when a thread leaves the CGRA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpandPolicy {
+    /// Grow the smallest allocation first (default; fairness-oriented).
+    SmallestFirst,
+    /// Grow the largest allocation first (throughput for the leader).
+    LargestFirst,
+    /// Never expand (ablation: measures how much expansion contributes).
+    None,
+}
+
+/// Outcome of a CGRA page request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Pages granted without touching anyone.
+    Granted {
+        /// Pages handed to the requester.
+        pages: u16,
+    },
+    /// A running thread was shrunk to make room.
+    Shrunk {
+        /// The shrunk thread.
+        victim: usize,
+        /// The victim's new allocation.
+        victim_pages: u16,
+        /// Pages handed to the requester.
+        pages: u16,
+    },
+    /// No pages available (every running thread is at one page): stall.
+    Queued,
+}
+
+/// Page bookkeeping for the multithreaded CGRA.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    n: u16,
+    free: u16,
+    running: BTreeMap<usize, u16>,
+    chain: Vec<u16>,
+}
+
+impl Allocator {
+    /// An allocator over `n` pages.
+    pub fn new(n: u16) -> Self {
+        Allocator {
+            n,
+            free: n,
+            running: BTreeMap::new(),
+            chain: halving_chain(n),
+        }
+    }
+
+    /// Pages currently unallocated.
+    pub fn free_pages(&self) -> u16 {
+        self.free
+    }
+
+    /// Current allocation of a thread (None if not on the CGRA).
+    pub fn allocation(&self, thread: usize) -> Option<u16> {
+        self.running.get(&thread).copied()
+    }
+
+    /// Number of threads on the CGRA.
+    pub fn active(&self) -> usize {
+        self.running.len()
+    }
+
+    fn largest_chain_at_most(&self, x: u16) -> Option<u16> {
+        self.chain.iter().copied().find(|&c| c <= x)
+    }
+
+    fn chain_above(&self, c: u16) -> Option<u16> {
+        self.chain
+            .iter()
+            .copied()
+            .rev()
+            .find(|&x| x > c)
+    }
+
+    fn chain_below(&self, c: u16) -> Option<u16> {
+        self.chain.iter().copied().find(|&x| x < c)
+    }
+
+    /// Request pages for `thread` (wanting `want`, a halving-chain value).
+    pub fn request(&mut self, thread: usize, want: u16) -> RequestOutcome {
+        debug_assert!(self.chain.contains(&want), "want {want} not on chain");
+        debug_assert!(!self.running.contains_key(&thread));
+        // Unused portion first: no transformation of anyone needed.
+        if self.free > 0 {
+            if let Some(pages) = self.largest_chain_at_most(self.free.min(want)) {
+                self.free -= pages;
+                self.running.insert(thread, pages);
+                return RequestOutcome::Granted { pages };
+            }
+        }
+        // Shrink the thread using the most pages (ties: lowest id).
+        let victim = self
+            .running
+            .iter()
+            .max_by_key(|&(id, &pages)| (pages, std::cmp::Reverse(*id)))
+            .map(|(&id, &pages)| (id, pages));
+        let Some((victim, victim_pages)) = victim else {
+            return RequestOutcome::Queued;
+        };
+        let Some(new_pages) = self.chain_below(victim_pages) else {
+            return RequestOutcome::Queued; // everyone already at 1 page
+        };
+        let freed = victim_pages - new_pages;
+        self.running.insert(victim, new_pages);
+        self.free += freed;
+        let pages = self
+            .largest_chain_at_most(self.free.min(want))
+            .expect("freed at least one page");
+        self.free -= pages;
+        self.running.insert(thread, pages);
+        RequestOutcome::Shrunk {
+            victim,
+            victim_pages: new_pages,
+            pages,
+        }
+    }
+
+    /// Release a thread's pages; returns how many were freed.
+    pub fn release(&mut self, thread: usize) -> u16 {
+        let pages = self.running.remove(&thread).expect("thread not running");
+        self.free += pages;
+        pages
+    }
+
+    /// Expand running threads into free pages per `policy`. `want(t)`
+    /// caps each thread's growth. Returns `(thread, new_pages)` for every
+    /// applied expansion.
+    pub fn expand(
+        &mut self,
+        policy: ExpandPolicy,
+        want: impl Fn(usize) -> u16,
+    ) -> Vec<(usize, u16)> {
+        if policy == ExpandPolicy::None {
+            return Vec::new();
+        }
+        let mut applied = Vec::new();
+        loop {
+            let mut candidates: Vec<(usize, u16)> = self
+                .running
+                .iter()
+                .map(|(&id, &pages)| (id, pages))
+                .filter(|&(id, pages)| pages < want(id))
+                .collect();
+            match policy {
+                ExpandPolicy::SmallestFirst => candidates.sort_by_key(|&(id, p)| (p, id)),
+                ExpandPolicy::LargestFirst => {
+                    candidates.sort_by_key(|&(id, p)| (std::cmp::Reverse(p), id))
+                }
+                ExpandPolicy::None => unreachable!(),
+            }
+            let mut progressed = false;
+            for (id, pages) in candidates {
+                let Some(up) = self.chain_above(pages) else {
+                    continue;
+                };
+                let up = up.min(want(id));
+                if up <= pages {
+                    continue;
+                }
+                let cost = up - pages;
+                if cost <= self.free {
+                    self.free -= cost;
+                    self.running.insert(id, up);
+                    applied.push((id, up));
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        applied
+    }
+
+    /// Sanity: allocations + free always equals N.
+    pub fn check_invariant(&self) -> bool {
+        self.running.values().sum::<u16>() + self.free == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_thread_gets_what_it_wants() {
+        let mut a = Allocator::new(8);
+        assert_eq!(a.request(0, 8), RequestOutcome::Granted { pages: 8 });
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn unused_portion_served_without_shrinking() {
+        let mut a = Allocator::new(8);
+        a.request(0, 4);
+        // 4 pages free: second thread fits without a shrink.
+        assert_eq!(a.request(1, 4), RequestOutcome::Granted { pages: 4 });
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn shrink_halves_the_biggest() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8);
+        let out = a.request(1, 8);
+        assert_eq!(
+            out,
+            RequestOutcome::Shrunk {
+                victim: 0,
+                victim_pages: 4,
+                pages: 4
+            }
+        );
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn cascade_of_arrivals() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8);
+        a.request(1, 8); // 4 + 4
+        let out = a.request(2, 8); // shrink thread 0 (tie-lowest) to 2
+        assert_eq!(
+            out,
+            RequestOutcome::Shrunk {
+                victim: 0,
+                victim_pages: 2,
+                pages: 2
+            }
+        );
+        assert_eq!(a.allocation(1), Some(4));
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn queue_when_everyone_at_one_page() {
+        let mut a = Allocator::new(2);
+        a.request(0, 2);
+        a.request(1, 2); // 1 + 1
+        assert_eq!(a.request(2, 2), RequestOutcome::Queued);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn release_and_expand_smallest_first() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8);
+        a.request(1, 8); // 4+4
+        a.request(2, 8); // 2+4+2
+        assert_eq!(a.allocation(0), Some(2));
+        a.release(1);
+        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 8);
+        // Thread 0 (2 pages) doubles to 4, then thread 2 doubles to 4.
+        assert_eq!(grown, vec![(0, 4), (2, 4)]);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn expansion_respects_want() {
+        let mut a = Allocator::new(8);
+        a.request(0, 2);
+        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 2);
+        assert!(grown.is_empty(), "{grown:?}");
+    }
+
+    #[test]
+    fn expand_none_is_inert() {
+        let mut a = Allocator::new(8);
+        a.request(0, 2);
+        assert!(a.expand(ExpandPolicy::None, |_| 8).is_empty());
+    }
+
+    #[test]
+    fn nine_page_chain_composition() {
+        // 6x6 with 2x2 pages: 9 pages, chain [9,4,2,1].
+        let mut a = Allocator::new(9);
+        assert_eq!(a.request(0, 9), RequestOutcome::Granted { pages: 9 });
+        let out = a.request(1, 9);
+        // Victim halves 9 -> 4, freeing 5; newcomer takes 4 (largest chain <= 5).
+        assert_eq!(
+            out,
+            RequestOutcome::Shrunk {
+                victim: 0,
+                victim_pages: 4,
+                pages: 4
+            }
+        );
+        assert_eq!(a.free_pages(), 1);
+        // A third small thread can take the loose page without shrinking.
+        assert_eq!(a.request(2, 1), RequestOutcome::Granted { pages: 1 });
+        assert!(a.check_invariant());
+    }
+}

@@ -1,0 +1,215 @@
+//! Pre-compiled kernel profiles — what the OS knows about each kernel.
+//!
+//! Compilation happens once, offline (§V: "threads are to be compiled
+//! independently of each other"); at runtime the OS only consults the
+//! profile: the baseline II, the paging-constrained II, the number of
+//! pages the schedule actually occupies, and the transformed II for every
+//! page budget on the halving chain.
+
+use cgra_arch::CgraConfig;
+use cgra_core::transform::{transform, Strategy};
+use cgra_core::PagedSchedule;
+use cgra_mapper::{map_baseline, map_constrained, MapError, MapOptions};
+use serde::{Deserialize, Serialize};
+
+/// The page budgets the allocator hands out: `N, N/2, N/4, …, 1`
+/// (integer halving, §VII-B.1's policy).
+pub fn halving_chain(n: u16) -> Vec<u16> {
+    let mut chain = Vec::new();
+    let mut m = n;
+    while m >= 1 {
+        chain.push(m);
+        if m == 1 {
+            break;
+        }
+        m /= 2;
+    }
+    chain
+}
+
+/// Everything the runtime needs to know about one compiled kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// II of the *unconstrained* mapping (the single-threaded baseline
+    /// system runs at this rate).
+    pub ii_baseline: u32,
+    /// II of the paging-constrained mapping (full-array rate in the
+    /// multithreaded system).
+    pub ii_constrained: u32,
+    /// Pages the constrained schedule actually occupies.
+    pub used_pages: u16,
+    /// `(M, II_q)` for every budget on the halving chain, from the actual
+    /// PageMaster/block transform (not the analytic formula).
+    pub ii_by_pages: Vec<(u16, u32)>,
+}
+
+impl KernelProfile {
+    /// Compile a kernel for `cgra` and derive its profile.
+    pub fn compile(
+        dfg: &cgra_dfg::Dfg,
+        cgra: &CgraConfig,
+        opts: &MapOptions,
+    ) -> Result<Self, MapError> {
+        let base = map_baseline(dfg, cgra, opts)?;
+        let cons = map_constrained(dfg, cgra, opts)?;
+        let paged = PagedSchedule::from_mapping(&cons, cgra)
+            .map_err(|e| MapError::Unmappable {
+                reason: e.to_string(),
+            })?
+            .trimmed();
+        let used = paged.num_pages;
+        let n = cgra.layout().num_pages() as u16;
+        let mut ii_by_pages = Vec::new();
+        for m in halving_chain(n) {
+            let ii_q = if m >= used {
+                // §VII-B.1: schedules not using the entire CGRA need no
+                // transformation for budgets covering their footprint.
+                cons.ii()
+            } else {
+                let plan = transform(&paged, m, Strategy::Auto).map_err(|e| {
+                    MapError::Unmappable {
+                        reason: format!("transform to {m} pages: {e}"),
+                    }
+                })?;
+                debug_assert!(
+                    cgra_core::validate::validate_plan(&paged, &plan).is_empty(),
+                    "invalid plan for {} at M={m}",
+                    dfg.name
+                );
+                plan.ii_q_ceil()
+            };
+            ii_by_pages.push((m, ii_q));
+        }
+        Ok(KernelProfile {
+            name: dfg.name.clone(),
+            ii_baseline: base.ii(),
+            ii_constrained: cons.ii(),
+            used_pages: used,
+            ii_by_pages,
+        })
+    }
+
+    /// The smallest halving-chain budget that covers the kernel's
+    /// footprint — what the thread asks the allocator for.
+    pub fn wanted_pages(&self, n: u16) -> u16 {
+        halving_chain(n)
+            .into_iter()
+            .filter(|&m| m >= self.used_pages)
+            .min()
+            .unwrap_or(n)
+    }
+
+    /// Cycles per kernel iteration with `m` pages allocated.
+    ///
+    /// # Panics
+    /// Panics if `m` is not on the halving chain the profile was built
+    /// for.
+    pub fn ii_at(&self, m: u16) -> u32 {
+        self.ii_by_pages
+            .iter()
+            .find(|&&(pm, _)| pm == m)
+            .map(|&(_, ii)| ii)
+            .unwrap_or_else(|| panic!("{}: no transform cached for M={m}", self.name))
+    }
+}
+
+/// The compiled library: one profile per benchmark kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLibrary {
+    /// Profiles in `cgra_dfg::kernels::NAMES` order.
+    pub profiles: Vec<KernelProfile>,
+    /// Pages in the fabric the library was compiled for.
+    pub num_pages: u16,
+}
+
+impl KernelLibrary {
+    /// Compile all 11 benchmark kernels for a fabric.
+    pub fn compile_benchmarks(cgra: &CgraConfig, opts: &MapOptions) -> Result<Self, MapError> {
+        let profiles = cgra_dfg::kernels::all()
+            .iter()
+            .map(|k| KernelProfile::compile(k, cgra, opts))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(KernelLibrary {
+            profiles,
+            num_pages: cgra.layout().num_pages() as u16,
+        })
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile by index.
+    pub fn profile(&self, kernel: usize) -> &KernelProfile {
+        &self.profiles[kernel]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_chains() {
+        assert_eq!(halving_chain(16), vec![16, 8, 4, 2, 1]);
+        assert_eq!(halving_chain(9), vec![9, 4, 2, 1]);
+        assert_eq!(halving_chain(4), vec![4, 2, 1]);
+        assert_eq!(halving_chain(1), vec![1]);
+    }
+
+    #[test]
+    fn profile_compiles_for_mpeg2_on_4x4() {
+        let cgra = CgraConfig::square(4);
+        let p = KernelProfile::compile(
+            &cgra_dfg::kernels::mpeg2(),
+            &cgra,
+            &MapOptions::default(),
+        )
+        .expect("compiles");
+        assert!(p.ii_constrained >= p.ii_baseline);
+        assert!(p.used_pages >= 1 && p.used_pages <= 4);
+        // Rates weakly degrade as pages shrink.
+        let iis: Vec<u32> = p.ii_by_pages.iter().map(|&(_, ii)| ii).collect();
+        for w in iis.windows(2) {
+            assert!(w[1] >= w[0], "rates not monotone: {iis:?}");
+        }
+        // One page executes the used pages sequentially.
+        let one = p.ii_at(1);
+        assert!(one >= p.ii_constrained * p.used_pages as u32 / 2);
+    }
+
+    #[test]
+    fn wanted_pages_covers_footprint() {
+        let cgra = CgraConfig::square(4);
+        let p = KernelProfile::compile(
+            &cgra_dfg::kernels::sor(),
+            &cgra,
+            &MapOptions::default(),
+        )
+        .expect("compiles");
+        let want = p.wanted_pages(4);
+        assert!(want >= p.used_pages);
+        assert!(halving_chain(4).contains(&want));
+    }
+
+    #[test]
+    #[should_panic(expected = "no transform cached")]
+    fn ii_at_off_chain_panics() {
+        let cgra = CgraConfig::square(4);
+        let p = KernelProfile::compile(
+            &cgra_dfg::kernels::laplace(),
+            &cgra,
+            &MapOptions::default(),
+        )
+        .expect("compiles");
+        p.ii_at(3);
+    }
+}

@@ -1,0 +1,452 @@
+//! The multithreaded CGRA system (§VII-B case (ii)).
+//!
+//! Threads request CGRA pages when they reach a kernel segment. The
+//! allocator serves them from unused pages when possible, otherwise
+//! shrinks the biggest tenant (PageMaster transform, modelled by the
+//! pre-computed `II_q(M)` table); when a tenant leaves, survivors are
+//! expanded back. Schedule switches take effect at the next iteration
+//! boundary of the old schedule (§VII-B.1: "switched at an integer value
+//! of II_p × N/M"), plus a configurable transformation overhead (the
+//! paper argues it is negligible against the kernel-memory transfer; the
+//! `fig9 --ablation-overhead` sweep tests that claim).
+
+use crate::alloc::{Allocator, ExpandPolicy, RequestOutcome};
+use crate::event::EventQueue;
+use crate::kernel_lib::KernelLibrary;
+use crate::stats::SimReport;
+use crate::workload::{Segment, ThreadSpec};
+use std::collections::VecDeque;
+
+/// Multithreaded-system knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MtConfig {
+    /// Extra cycles a schedule switch costs (0 = the paper's assumption).
+    pub switch_overhead: u64,
+    /// Redistribution policy when pages free up.
+    pub expand: ExpandPolicy,
+}
+
+impl Default for MtConfig {
+    fn default() -> Self {
+        MtConfig {
+            switch_overhead: 0,
+            expand: ExpandPolicy::SmallestFirst,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Waiting to start the next segment (event pending).
+    Advancing,
+    /// Executing a kernel: iterations remaining as of `since`, at
+    /// `rate` cycles per iteration.
+    OnCgra {
+        kernel: usize,
+        remaining: u64,
+        rate: u64,
+        since: u64,
+    },
+    /// Stalled in the CGRA queue.
+    Waiting { kernel: usize, iterations: u64, enqueued: u64 },
+    Done,
+}
+
+struct Sim<'a> {
+    lib: &'a KernelLibrary,
+    threads: &'a [ThreadSpec],
+    cfg: MtConfig,
+    q: EventQueue,
+    seg_idx: Vec<usize>,
+    mode: Vec<Mode>,
+    finish: Vec<u64>,
+    alloc: Allocator,
+    queue: VecDeque<usize>,
+    // Stats.
+    cgra_iterations: u64,
+    page_cycles: u64,
+    pages_busy: u64,
+    last_integral: u64,
+    shrinks: u64,
+    expands: u64,
+    stall_cycles: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn integrate(&mut self, now: u64) {
+        self.page_cycles += self.pages_busy * (now - self.last_integral);
+        self.last_integral = now;
+    }
+
+    fn want(&self, thread: usize) -> u16 {
+        match self.mode[thread] {
+            Mode::OnCgra { kernel, .. } | Mode::Waiting { kernel, .. } => {
+                self.lib.profile(kernel).wanted_pages(self.lib.num_pages)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Change a running thread's rate at the next iteration boundary of
+    /// its old schedule (plus the switch overhead).
+    fn set_rate(&mut self, thread: usize, now: u64, new_rate: u64) {
+        let Mode::OnCgra {
+            kernel,
+            remaining,
+            rate,
+            since,
+        } = self.mode[thread]
+        else {
+            return;
+        };
+        if new_rate == rate {
+            return;
+        }
+        // `since` can lie in the future while a previous switch's overhead
+        // drains; no progress has been made in that case.
+        let boundary = if now <= since {
+            since
+        } else {
+            let elapsed = now - since;
+            if elapsed % rate == 0 {
+                now
+            } else {
+                since + (elapsed / rate + 1) * rate
+            }
+        };
+        let done = ((boundary - since) / rate).min(remaining);
+        self.cgra_iterations += done;
+        let remaining = remaining - done;
+        let since = boundary + self.cfg.switch_overhead;
+        self.q.bump(thread);
+        if remaining == 0 {
+            self.mode[thread] = Mode::OnCgra {
+                kernel,
+                remaining,
+                rate: new_rate,
+                since: boundary,
+            };
+            self.q.push(boundary, thread);
+        } else {
+            self.mode[thread] = Mode::OnCgra {
+                kernel,
+                remaining,
+                rate: new_rate,
+                since,
+            };
+            self.q.push(since + remaining * new_rate, thread);
+        }
+    }
+
+    /// Put a thread onto the CGRA with `pages`.
+    fn start_kernel(&mut self, thread: usize, kernel: usize, iterations: u64, now: u64, pages: u16) {
+        let rate = self.lib.profile(kernel).ii_at(pages) as u64;
+        let since = now + self.cfg.switch_overhead;
+        self.mode[thread] = Mode::OnCgra {
+            kernel,
+            remaining: iterations,
+            rate,
+            since,
+        };
+        self.pages_busy += pages as u64;
+        self.q.bump(thread);
+        self.q.push(since + iterations * rate, thread);
+    }
+
+    /// Handle a CGRA page request; may shrink a victim.
+    fn request_cgra(&mut self, thread: usize, kernel: usize, iterations: u64, now: u64) {
+        let want = self.lib.profile(kernel).wanted_pages(self.lib.num_pages);
+        match self.alloc.request(thread, want) {
+            RequestOutcome::Granted { pages } => {
+                self.integrate(now);
+                self.start_kernel(thread, kernel, iterations, now, pages);
+            }
+            RequestOutcome::Shrunk {
+                victim,
+                victim_pages,
+                pages,
+            } => {
+                self.integrate(now);
+                self.shrinks += 1;
+                let old_pages = match self.mode[victim] {
+                    Mode::OnCgra { kernel: vk, .. } => {
+                        let new_rate = self.lib.profile(vk).ii_at(victim_pages) as u64;
+                        // pages_busy: victim gave up (old - new) pages.
+                        let old = self.victim_old_pages(victim_pages);
+                        self.set_rate(victim, now, new_rate);
+                        old
+                    }
+                    _ => unreachable!("victim must be running"),
+                };
+                self.pages_busy -= (old_pages - victim_pages) as u64;
+                self.start_kernel(thread, kernel, iterations, now, pages);
+            }
+            RequestOutcome::Queued => {
+                self.mode[thread] = Mode::Waiting {
+                    kernel,
+                    iterations,
+                    enqueued: now,
+                };
+                self.queue.push_back(thread);
+            }
+        }
+    }
+
+    fn victim_old_pages(&self, new_pages: u16) -> u16 {
+        // The allocator halves along the chain; recover the previous
+        // value (the chain element directly above new_pages).
+        crate::kernel_lib::halving_chain(self.lib.num_pages)
+            .into_iter()
+            .rev()
+            .find(|&c| c > new_pages)
+            .expect("victim was above the chain bottom")
+    }
+
+    /// A thread finished its kernel segment: release pages, serve the
+    /// queue, expand survivors.
+    fn finish_kernel(&mut self, thread: usize, now: u64) {
+        let Mode::OnCgra { remaining, .. } = self.mode[thread] else {
+            unreachable!("finish_kernel on non-running thread");
+        };
+        self.cgra_iterations += remaining;
+        self.integrate(now);
+        let freed = self.alloc.release(thread);
+        self.pages_busy -= freed as u64;
+        self.advance(thread, now);
+
+        // Serve stalled threads first.
+        while let Some(&head) = self.queue.front() {
+            let Mode::Waiting {
+                kernel,
+                iterations,
+                enqueued,
+            } = self.mode[head]
+            else {
+                self.queue.pop_front();
+                continue;
+            };
+            if self.alloc.free_pages() == 0 {
+                break;
+            }
+            self.queue.pop_front();
+            self.stall_cycles += now - enqueued;
+            // Re-request: guaranteed to be served from free pages.
+            self.request_cgra(head, kernel, iterations, now);
+        }
+
+        // Then grow the survivors.
+        let lib = self.lib;
+        let wants: Vec<u16> = (0..self.threads.len()).map(|t| self.want(t)).collect();
+        let grown = self.alloc.expand(self.cfg.expand, |t| wants[t]);
+        for (t, new_pages) in grown {
+            self.expands += 1;
+            if let Mode::OnCgra { kernel, .. } = self.mode[t] {
+                let old = self.alloc_pages_before_expand(new_pages);
+                self.pages_busy += (new_pages - old) as u64;
+                let new_rate = lib.profile(kernel).ii_at(new_pages) as u64;
+                self.set_rate(t, now, new_rate);
+            }
+        }
+    }
+
+    fn alloc_pages_before_expand(&self, new_pages: u16) -> u16 {
+        crate::kernel_lib::halving_chain(self.lib.num_pages)
+            .into_iter()
+            .find(|&c| c < new_pages)
+            .unwrap_or(new_pages)
+    }
+
+    /// Move a thread to its next segment at `now`.
+    fn advance(&mut self, thread: usize, now: u64) {
+        let idx = self.seg_idx[thread];
+        if idx >= self.threads[thread].segments.len() {
+            self.mode[thread] = Mode::Done;
+            self.finish[thread] = now;
+            return;
+        }
+        self.seg_idx[thread] += 1;
+        match self.threads[thread].segments[idx] {
+            Segment::Cpu(cycles) => {
+                self.mode[thread] = Mode::Advancing;
+                self.q.bump(thread);
+                self.q.push(now + cycles, thread);
+            }
+            Segment::Cgra { kernel, iterations } => {
+                self.request_cgra(thread, kernel, iterations, now);
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        for t in 0..self.threads.len() {
+            self.q.push(0, t);
+            self.mode[t] = Mode::Advancing;
+        }
+        // Kick-off events advance each thread into its first segment.
+        while let Some(ev) = self.q.pop() {
+            let t = ev.thread;
+            match self.mode[t] {
+                Mode::Advancing => self.advance(t, ev.time),
+                Mode::OnCgra { .. } => self.finish_kernel(t, ev.time),
+                Mode::Waiting { .. } | Mode::Done => {}
+            }
+            debug_assert!(self.alloc.check_invariant());
+        }
+    }
+}
+
+/// Simulate the multithreaded system; deterministic for a given workload.
+pub fn simulate_multithreaded(
+    lib: &KernelLibrary,
+    threads: &[ThreadSpec],
+    cfg: MtConfig,
+) -> SimReport {
+    let mut sim = Sim {
+        lib,
+        threads,
+        cfg,
+        q: EventQueue::new(threads.len()),
+        seg_idx: vec![0; threads.len()],
+        mode: vec![Mode::Advancing; threads.len()],
+        finish: vec![0; threads.len()],
+        alloc: Allocator::new(lib.num_pages),
+        queue: VecDeque::new(),
+        cgra_iterations: 0,
+        page_cycles: 0,
+        pages_busy: 0,
+        last_integral: 0,
+        shrinks: 0,
+        expands: 0,
+        stall_cycles: 0,
+    };
+    sim.run();
+    SimReport {
+        makespan: sim.finish.iter().copied().max().unwrap_or(0),
+        thread_finish: sim.finish,
+        cgra_iterations: sim.cgra_iterations,
+        page_cycles: sim.page_cycles,
+        shrinks: sim.shrinks,
+        expands: sim.expands,
+        stall_cycles: sim.stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::improvement_percent;
+    use crate::workload::{generate, CgraNeed, WorkloadParams};
+    use cgra_mapper::MapOptions;
+
+    fn lib(dim: u16) -> KernelLibrary {
+        KernelLibrary::compile_benchmarks(
+            &cgra_arch::CgraConfig::square(dim),
+            &MapOptions::default(),
+        )
+        .expect("library compiles")
+    }
+
+    #[test]
+    fn single_thread_matches_constrained_rate() {
+        let lib = lib(4);
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: 0,
+                iterations: 50,
+            }],
+        };
+        let r = simulate_multithreaded(&lib, &[spec], MtConfig::default());
+        let ii = lib.profile(0).ii_constrained as u64;
+        assert_eq!(r.makespan, 50 * ii);
+        assert_eq!(r.shrinks, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let lib = lib(4);
+        let w = generate(&lib, &WorkloadParams::default());
+        let a = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let b = simulate_multithreaded(&lib, &w, MtConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_kernels_co_run_without_shrinking() {
+        let lib = lib(4);
+        // Two threads running kernels that fit half the array each.
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) <= 2)
+            .expect("some kernel uses at most half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 100,
+            }],
+        };
+        let r = simulate_multithreaded(&lib, &[spec.clone(), spec], MtConfig::default());
+        assert_eq!(r.shrinks, 0, "unused-portion rule should serve both");
+        let ii = lib.profile(small).ii_constrained as u64;
+        assert_eq!(r.makespan, 100 * ii);
+    }
+
+    #[test]
+    fn multithreading_beats_baseline_on_contended_workloads() {
+        let lib = lib(8);
+        let w = generate(
+            &lib,
+            &WorkloadParams {
+                threads: 8,
+                need: CgraNeed::High,
+                work_per_thread: 50_000,
+                bursts: 3,
+                seed: 7,
+            },
+        );
+        let base = crate::baseline::simulate_baseline(&lib, &w);
+        let mt = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let imp = improvement_percent(base.makespan, mt.makespan);
+        assert!(
+            imp > 20.0,
+            "expected solid improvement on 8x8 with 8 threads, got {imp:.1}%"
+        );
+    }
+
+    #[test]
+    fn overhead_reduces_but_does_not_break_improvement() {
+        let lib = lib(4);
+        let w = generate(
+            &lib,
+            &WorkloadParams {
+                threads: 4,
+                need: CgraNeed::High,
+                ..Default::default()
+            },
+        );
+        let zero = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let heavy = simulate_multithreaded(
+            &lib,
+            &w,
+            MtConfig {
+                switch_overhead: 1000,
+                ..Default::default()
+            },
+        );
+        assert!(heavy.makespan >= zero.makespan);
+    }
+
+    #[test]
+    fn conservation_of_iterations() {
+        let lib = lib(4);
+        let w = generate(&lib, &WorkloadParams::default());
+        let total: u64 = w
+            .iter()
+            .flat_map(|t| &t.segments)
+            .map(|s| match s {
+                Segment::Cgra { iterations, .. } => *iterations,
+                _ => 0,
+            })
+            .sum();
+        let r = simulate_multithreaded(&lib, &w, MtConfig::default());
+        assert_eq!(r.cgra_iterations, total);
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulation reports and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cycle at which the last thread finished.
+    pub makespan: u64,
+    /// Per-thread completion times.
+    pub thread_finish: Vec<u64>,
+    /// Total kernel iterations executed on the CGRA.
+    pub cgra_iterations: u64,
+    /// Integral of allocated pages over time (page·cycles) — CGRA
+    /// occupancy.
+    pub page_cycles: u64,
+    /// Number of shrink transformations performed.
+    pub shrinks: u64,
+    /// Number of expand transformations performed.
+    pub expands: u64,
+    /// Cycles threads spent stalled waiting for CGRA pages.
+    pub stall_cycles: u64,
+}
+
+impl SimReport {
+    /// Mean page occupancy over the run (pages in use on average).
+    pub fn mean_pages_busy(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.page_cycles as f64 / self.makespan as f64
+        }
+    }
+
+    /// Average thread completion time.
+    pub fn mean_finish(&self) -> f64 {
+        if self.thread_finish.is_empty() {
+            0.0
+        } else {
+            self.thread_finish.iter().sum::<u64>() as f64 / self.thread_finish.len() as f64
+        }
+    }
+}
+
+/// Percentage improvement of `ours` over `baseline` in completion time
+/// (positive = ours finished sooner). The Fig. 9 metric.
+pub fn improvement_percent(baseline_makespan: u64, ours_makespan: u64) -> f64 {
+    if ours_makespan == 0 {
+        return 0.0;
+    }
+    (baseline_makespan as f64 / ours_makespan as f64 - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_signs() {
+        assert!(improvement_percent(200, 100) > 0.0);
+        assert!(improvement_percent(100, 200) < 0.0);
+        assert_eq!(improvement_percent(100, 100), 0.0);
+    }
+
+    #[test]
+    fn improvement_magnitude() {
+        assert!((improvement_percent(300, 100) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_pages() {
+        let r = SimReport {
+            makespan: 100,
+            thread_finish: vec![50, 100],
+            cgra_iterations: 10,
+            page_cycles: 400,
+            shrinks: 0,
+            expands: 0,
+            stall_cycles: 0,
+        };
+        assert_eq!(r.mean_pages_busy(), 4.0);
+        assert_eq!(r.mean_finish(), 75.0);
+    }
+}

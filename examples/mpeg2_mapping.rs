@@ -1,0 +1,74 @@
+//! Figure 2 — the MPEG2 kernel, its DFG, and a modulo schedule on a 4x4.
+//!
+//! Prints the DFG in DOT, the software-pipelined schedule, and the PE
+//! placement grid, mirroring the panels of the paper's Fig. 2.
+//!
+//! Run with: `cargo run --release --example mpeg2_mapping`
+
+use cgra_mt::prelude::*;
+
+fn main() {
+    let cgra = CgraConfig::square(4);
+    let kernel = cgra_mt::dfg::kernels::fig2_kernel();
+
+    println!("--- DFG (Graphviz) ---\n{}", cgra_mt::dfg::dot::to_dot(&kernel));
+
+    let mapped = map_baseline(&kernel, &cgra, &MapOptions::default()).expect("maps");
+    println!(
+        "--- Modulo schedule, II = {} (paper's Fig. 2 shows II = 1 on an\n--- idealised fabric; ours charges the row-bus for the 4 memory ops) ---\n",
+        mapped.ii()
+    );
+
+    // Schedule table: rows = time, columns = ops started.
+    let makespan = mapped.mapping.makespan();
+    for t in 0..makespan {
+        let ops: Vec<String> = mapped
+            .mapping
+            .placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.time == t)
+            .map(|(i, p)| {
+                let node = mapped.mdfg.dfg.node(cgra_mt::dfg::NodeId(i as u32));
+                format!(
+                    "{}:{} on {}",
+                    node.label.as_deref().unwrap_or("?"),
+                    node.op.mnemonic(),
+                    p.pe
+                )
+            })
+            .collect();
+        println!("t={t}: {}", ops.join(", "));
+    }
+
+    // Placement grid.
+    println!("\n--- PE grid (node labels; '.' = unused) ---");
+    let mesh = cgra.mesh();
+    for r in 0..mesh.rows() {
+        let mut row = String::new();
+        for c in 0..mesh.cols() {
+            let pe = mesh.pe(cgra_mt::arch::Pos::new(r, c));
+            let label = mapped
+                .mapping
+                .placements
+                .iter()
+                .enumerate()
+                .find(|(_, p)| p.pe == pe)
+                .map(|(i, _)| {
+                    mapped
+                        .mdfg
+                        .dfg
+                        .node(cgra_mt::dfg::NodeId(i as u32))
+                        .label
+                        .clone()
+                        .unwrap_or_else(|| i.to_string())
+                })
+                .unwrap_or_else(|| ".".into());
+            row.push_str(&format!("{label:>3} "));
+        }
+        println!("{row}");
+    }
+    let v = validate_mapping(&mapped.mdfg, &cgra, &mapped.mapping, MapMode::Baseline);
+    assert!(v.is_empty());
+    println!("\nSchedule validated: every operand routed, no resource conflicts.");
+}

@@ -1,0 +1,74 @@
+//! Figure 6 — shrinking a whole-array schedule to a single page, with the
+//! intra-page mappings mirrored across the inter-page dependency
+//! directions.
+//!
+//! Run with: `cargo run --release --example shrink_to_one_page`
+
+use cgra_mt::core::fold::{orientation_plan, page_footprint, peak_rf_requirement};
+use cgra_mt::prelude::*;
+
+fn main() {
+    let cgra = CgraConfig::square(4).with_rf_size(32);
+    let kernel = cgra_mt::dfg::kernels::laplace();
+    let mapped = map_constrained(&kernel, &cgra, &MapOptions::default()).expect("maps");
+    println!(
+        "'{}' constrained to the full 4x4: II = {}, {} pages of 2x2\n",
+        kernel.name,
+        mapped.ii(),
+        cgra.layout().num_pages()
+    );
+
+    // The Fig. 6 mirror plan.
+    println!("Orientation per source page (Fig. 6's mirroring rule):");
+    for (i, o) in orientation_plan(&cgra).iter().enumerate() {
+        println!("  page {i}: {o:?}");
+    }
+
+    // Fold everything onto page 0.
+    let folded = fold_to_page(&mapped, &cgra, PageId(0)).expect("folds");
+    let violations = validate_fold(&mapped, &cgra, &folded);
+    assert!(violations.is_empty(), "{violations:?}");
+    println!(
+        "\nFolded onto page 0: II_q = {} = {} pages x II {} — validated at PE level.",
+        folded.ii_q,
+        cgra.layout().num_pages(),
+        mapped.ii()
+    );
+    println!(
+        "Peak rotating-register need: {} (paper's §VI-E claims N = {} suffice —\n\
+         fanout parking makes the honest requirement larger; see EXPERIMENTS.md)\n",
+        peak_rf_requirement(&mapped, &cgra, &folded),
+        cgra.layout().num_pages()
+    );
+
+    // Show where each source page's ops land within the folded page.
+    for page in 0..cgra.layout().num_pages() as u16 {
+        let fp = page_footprint(&folded, &cgra, &mapped, PageId(page));
+        if fp.is_empty() {
+            continue;
+        }
+        let cells: Vec<String> = fp
+            .iter()
+            .map(|(node, pos)| format!("n{node}@{pos}"))
+            .collect();
+        println!("source page {page} -> folded positions: {}", cells.join(" "));
+    }
+
+    // Timing of the first iteration: pages execute in dependence order.
+    println!("\nFolded timeline (first iteration):");
+    let mut by_time: Vec<(u64, usize)> = folded
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (op.time, i))
+        .collect();
+    by_time.sort_unstable();
+    for (time, node) in by_time.iter().take(12) {
+        let n = mapped.mdfg.dfg.node(cgra_mt::dfg::NodeId(*node as u32));
+        println!(
+            "  t={time:<3} {} ({})",
+            n.label.as_deref().unwrap_or("?"),
+            n.op.mnemonic()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Smoke tests asserting the *shapes* the paper's evaluation reports —
+//! small-scale versions of the Figure 8/9 claims, so regressions in the
+//! experimental story fail CI, not just eyeballs.
+
+use cgra_bench::fig9::{run_point, Fig9Params};
+use cgra_bench::libcache::LibCache;
+use cgra_bench::{fig8, fig9};
+use cgra_sim::{CgraNeed, MtConfig};
+
+fn quick() -> Fig9Params {
+    Fig9Params {
+        seeds: 2,
+        work_per_thread: 20_000,
+        bursts: 2,
+        mt: MtConfig::default(),
+    }
+}
+
+/// Fig. 8 shape: constraint losses shrink as pages grow, on every fabric.
+#[test]
+fn fig8_larger_pages_lose_less() {
+    for &(dim, sizes) in &cgra_bench::GRID {
+        let small = fig8::summary(&fig8::run_config(dim, sizes[0]))[0].2;
+        let large = fig8::summary(&fig8::run_config(dim, *sizes.last().unwrap()))[0].2;
+        assert!(
+            large >= small - 5.0,
+            "{dim}x{dim}: page {} geomean {large:.1}% < page {} geomean {small:.1}%",
+            sizes.last().unwrap(),
+            sizes[0]
+        );
+    }
+}
+
+/// Fig. 8 shape: at the largest page size, losses are modest.
+#[test]
+fn fig8_large_pages_nearly_lossless() {
+    let gm = fig8::summary(&fig8::run_config(4, 8))[0].2;
+    assert!(gm > 85.0, "4x4 page-8 geomean {gm:.1}%");
+}
+
+/// Fig. 9 shape: improvement grows with the array (paper's headline).
+#[test]
+fn fig9_improvement_grows_with_array_size() {
+    let cache = LibCache::new();
+    let p = quick();
+    let i4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &p).improvement_pct;
+    let i6 = run_point(&cache, 6, 4, CgraNeed::High, 16, &p).improvement_pct;
+    let i8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &p).improvement_pct;
+    assert!(i4 < i6 && i6 < i8, "not monotone: {i4:.0}% {i6:.0}% {i8:.0}%");
+    assert!(i8 > 100.0, "8x8 at 16 threads only {i8:.0}%");
+}
+
+/// Fig. 9 shape: one thread gains nothing (and may pay the constraint
+/// cost), matching the paper's negative bars at low thread counts.
+#[test]
+fn fig9_single_thread_pays_constraint_cost() {
+    let cache = LibCache::new();
+    let p = run_point(&cache, 6, 2, CgraNeed::High, 1, &quick());
+    assert!(p.improvement_pct <= 0.0, "got {:+.1}%", p.improvement_pct);
+}
+
+/// Ablation A1 shape: overhead erodes the benefit monotonically-ish but
+/// small overheads are indeed negligible (the paper's assumption).
+#[test]
+fn ablation_overhead_negligible_when_small() {
+    let cache = LibCache::new();
+    let sweep = fig9::ablation_overhead(&cache, 8, 4);
+    let at0 = sweep[0].1;
+    let at10 = sweep[1].1;
+    assert!(
+        (at0 - at10).abs() < 10.0,
+        "10-cycle overhead moved the result from {at0:.1}% to {at10:.1}%"
+    );
+}

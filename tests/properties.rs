@@ -1,0 +1,153 @@
+//! Cross-crate property tests: random DFGs survive the whole pipeline,
+//! and random synthetic page schedules transform validly for every M.
+
+use cgra_mt::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any generated DFG maps under both disciplines on a 4x4 and both
+    /// mappings validate; the constrained II never beats the baseline MII.
+    #[test]
+    fn random_dfgs_map_and_validate(seed in 0u64..500, recs in 0usize..2) {
+        let dfg = cgra_mt::dfg::random::random_dfg(
+            seed,
+            cgra_mt::dfg::random::RandomDfgParams {
+                layers: 4,
+                width: (2, 4),
+                edge_prob: 0.35,
+                recurrences: recs,
+                rec_distance: 1,
+            },
+        );
+        let cgra = CgraConfig::square(4);
+        let opts = MapOptions::fast();
+
+        let base = map_baseline(&dfg, &cgra, &opts);
+        prop_assume!(base.is_ok());
+        let base = base.unwrap();
+        prop_assert!(validate_mapping(&base.mdfg, &cgra, &base.mapping, MapMode::Baseline).is_empty());
+
+        let cons = map_constrained(&dfg, &cgra, &opts);
+        prop_assume!(cons.is_ok());
+        let cons = cons.unwrap();
+        prop_assert!(validate_mapping(&cons.mdfg, &cgra, &cons.mapping, MapMode::Constrained).is_empty());
+        prop_assert!(cons.ii() >= base.ii().min(cgra_mt::dfg::mii(&dfg, 16)));
+    }
+
+    /// Every synthetic canonical ring schedule transforms validly onto
+    /// every M, with II_q between the capacity bound and the block bound.
+    #[test]
+    fn synthetic_schedules_transform_validly(n in 2u16..12, ii in 1u32..4, wrap: bool) {
+        let p = PagedSchedule::synthetic_canonical(n, ii, wrap);
+        for m in 1..=n {
+            let plan = transform_pagemaster(&p, m);
+            prop_assume!(plan.is_ok());
+            let plan = plan.unwrap();
+            let v = validate_plan(&p, &plan);
+            prop_assert!(v.is_empty(), "N={n} M={m}: {v:?}");
+            let bound = (n as f64 * ii as f64) / m as f64;
+            prop_assert!(plan.ii_q() + 1e-9 >= bound.min(ii as f64 * (n as f64 / m as f64)));
+        }
+    }
+
+    /// Mapped kernels' paged schedules shrink validly with the block
+    /// strategy for every divisor-chain M.
+    #[test]
+    fn extracted_schedules_block_transform(seed in 0u64..200) {
+        let dfg = cgra_mt::dfg::random::random_dfg(
+            seed,
+            cgra_mt::dfg::random::RandomDfgParams::default(),
+        );
+        let cgra = CgraConfig::square(4);
+        let cons = map_constrained(&dfg, &cgra, &MapOptions::fast());
+        prop_assume!(cons.is_ok());
+        let cons = cons.unwrap();
+        let paged = PagedSchedule::from_mapping(&cons, &cgra).unwrap().trimmed();
+        for m in 1..=paged.num_pages {
+            let plan = transform_block(&paged, m).unwrap();
+            let v = validate_plan(&paged, &plan);
+            prop_assert!(v.is_empty(), "M={m}: {v:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Functional equivalence on random DFGs: the cycle-level machine
+    /// executing the baseline and constrained mappings reproduces the
+    /// golden interpreter's store streams exactly.
+    #[test]
+    fn random_dfgs_execute_equivalently(seed in 0u64..300, recs in 0usize..2) {
+        let dfg = cgra_mt::dfg::random::random_dfg(
+            seed ^ 0xE0E0,
+            cgra_mt::dfg::random::RandomDfgParams {
+                layers: 4,
+                width: (2, 4),
+                edge_prob: 0.4,
+                recurrences: recs,
+                rec_distance: 1,
+            },
+        );
+        let cgra = CgraConfig::square(4).with_rf_size(32);
+        let opts = MapOptions::fast();
+        let iters = 6;
+        let inputs = InputStreams::random(&dfg, iters, seed);
+        let golden = interpret(&dfg, &inputs, iters);
+
+        for result in [
+            map_baseline(&dfg, &cgra, &opts),
+            map_constrained(&dfg, &cgra, &opts),
+        ] {
+            let Ok(mapped) = result else { continue };
+            let sched = MachineSchedule::from_mapping(&mapped.mapping);
+            let out = execute(&mapped.mdfg, cgra.mesh(), &sched, &inputs, iters);
+            prop_assert!(out.is_ok(), "{:?}", out.err());
+            let out = out.unwrap();
+            for (store, values) in &golden {
+                prop_assert_eq!(out.get(store), Some(values), "store n{}", store);
+            }
+        }
+    }
+}
+
+/// Simulator cross-properties (deterministic, not proptest: libraries are
+/// expensive).
+#[test]
+fn simulator_agrees_with_hand_computation() {
+    let cgra = CgraConfig::square(4);
+    let lib = KernelLibrary::compile_benchmarks(&cgra, &MapOptions::default()).unwrap();
+    // One thread, one segment: both systems compute exactly.
+    let spec = cgra_mt::sim::ThreadSpec {
+        segments: vec![cgra_mt::sim::Segment::Cgra {
+            kernel: 0,
+            iterations: 7,
+        }],
+    };
+    let base = simulate_baseline(&lib, &[spec.clone()]);
+    let mt = simulate_multithreaded(&lib, &[spec], MtConfig::default());
+    assert_eq!(base.makespan, 7 * lib.profile(0).ii_baseline as u64);
+    assert_eq!(mt.makespan, 7 * lib.profile(0).ii_constrained as u64);
+}
+
+#[test]
+fn multithreaded_never_stalls_forever() {
+    // 16 threads on the tiny 4x4: stalls happen, but everything finishes.
+    let cgra = CgraConfig::square(4);
+    let lib = KernelLibrary::compile_benchmarks(&cgra, &MapOptions::default()).unwrap();
+    let w = generate(
+        &lib,
+        &WorkloadParams {
+            threads: 16,
+            need: CgraNeed::High,
+            work_per_thread: 10_000,
+            bursts: 2,
+            seed: 5,
+        },
+    );
+    let r = simulate_multithreaded(&lib, &w, MtConfig::default());
+    assert_eq!(r.thread_finish.len(), 16);
+    assert!(r.thread_finish.iter().all(|&f| f > 0));
+}
