@@ -32,9 +32,11 @@ impl CgraConfig {
     /// Panics if `n` is odd (2×2 pages must tile the mesh); use
     /// [`CgraConfig::new`] for exotic dimensions.
     pub fn square(n: u16) -> Self {
-        CgraConfig::new(Mesh::new(n, n), PageShape::for_size(Mesh::new(n, n), 4).expect(
-            "square() requires even n so 2x2 pages tile the mesh; use CgraConfig::new",
-        ))
+        CgraConfig::new(
+            Mesh::new(n, n),
+            PageShape::for_size(Mesh::new(n, n), 4)
+                .expect("square() requires even n so 2x2 pages tile the mesh; use CgraConfig::new"),
+        )
         .expect("2x2 shape validated above")
     }
 
@@ -122,7 +124,11 @@ impl CgraConfig {
     /// substitution is recorded in DESIGN.md.
     pub fn paper_grid() -> Vec<CgraConfig> {
         let mut grid = Vec::new();
-        for (dim, sizes) in [(4u16, &[2usize, 4, 8][..]), (6, &[2, 4, 9]), (8, &[2, 4, 8])] {
+        for (dim, sizes) in [
+            (4u16, &[2usize, 4, 8][..]),
+            (6, &[2, 4, 9]),
+            (8, &[2, 4, 8]),
+        ] {
             for &s in sizes {
                 let mesh = Mesh::new(dim, dim);
                 let shape = PageShape::for_size(mesh, s).expect("paper grid shapes tile");

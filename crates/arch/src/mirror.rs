@@ -43,7 +43,10 @@ impl Orientation {
     /// # Panics
     /// Panics if `p` lies outside the page.
     pub fn apply(self, p: Pos, h: u16, w: u16) -> Pos {
-        assert!(p.r < h && p.c < w, "intra-page position {p} outside {h}x{w} page");
+        assert!(
+            p.r < h && p.c < w,
+            "intra-page position {p} outside {h}x{w} page"
+        );
         match self {
             Orientation::Identity => p,
             Orientation::MirrorH => Pos::new(h - 1 - p.r, p.c),

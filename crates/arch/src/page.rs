@@ -78,7 +78,7 @@ impl PageShape {
             16 => PageShape::new(4, 4),
             _ => return None,
         };
-        if mesh.rows() % shape.h == 0 && mesh.cols() % shape.w == 0 {
+        if mesh.rows().is_multiple_of(shape.h) && mesh.cols().is_multiple_of(shape.w) {
             Some(shape)
         } else {
             None
@@ -129,7 +129,7 @@ pub struct PageLayout {
 impl PageLayout {
     /// Tile `mesh` with `shape` pages and order them serpentine.
     pub fn new(mesh: Mesh, shape: PageShape) -> Result<Self, LayoutError> {
-        if mesh.rows() % shape.h != 0 || mesh.cols() % shape.w != 0 {
+        if !mesh.rows().is_multiple_of(shape.h) || !mesh.cols().is_multiple_of(shape.w) {
             return Err(LayoutError::DoesNotTile { mesh, shape });
         }
         let tile_rows = mesh.rows() / shape.h;
@@ -232,7 +232,8 @@ impl PageLayout {
     pub fn pe_at(&self, page: PageId, local: Pos, orient: Orientation) -> PeId {
         let local = orient.apply(local, self.shape.h, self.shape.w);
         let origin = self.origin(page);
-        self.mesh.pe(Pos::new(origin.r + local.r, origin.c + local.c))
+        self.mesh
+            .pe(Pos::new(origin.r + local.r, origin.c + local.c))
     }
 
     /// Whether two pages share at least one mesh edge.
@@ -240,18 +241,14 @@ impl PageLayout {
         if a == b {
             return false;
         }
-        self.pes_of(a).any(|pa| {
-            self.mesh
-                .neighbors(pa)
-                .any(|n| self.page_of(n) == b)
-        })
+        self.pes_of(a)
+            .any(|pa| self.mesh.neighbors(pa).any(|n| self.page_of(n) == b))
     }
 
     /// Whether consecutive pages in ring order are all physically adjacent
     /// (always true for serpentine layouts; asserted in tests).
     pub fn ring_path_is_physical(&self) -> bool {
-        (1..self.num_pages())
-            .all(|i| self.pages_adjacent(PageId(i as u16 - 1), PageId(i as u16)))
+        (1..self.num_pages()).all(|i| self.pages_adjacent(PageId(i as u16 - 1), PageId(i as u16)))
     }
 
     /// Whether the ring *closes*: the last page is adjacent to the first,
@@ -325,7 +322,11 @@ mod tests {
     #[test]
     fn paper_grid_layouts_are_physical_paths() {
         // Every (CGRA size, page size) point from §VII-A.
-        for (dim, sizes) in [(4u16, &[2usize, 4, 8][..]), (6, &[2, 4, 9]), (8, &[2, 4, 8, 16])] {
+        for (dim, sizes) in [
+            (4u16, &[2usize, 4, 8][..]),
+            (6, &[2, 4, 9]),
+            (8, &[2, 4, 8, 16]),
+        ] {
             for &s in sizes {
                 let l = layout(dim, dim, s);
                 assert_eq!(l.num_pages(), (dim as usize * dim as usize) / s);

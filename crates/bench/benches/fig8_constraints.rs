@@ -3,10 +3,11 @@
 //!
 //! `cargo bench -p cgra-bench --bench fig8_constraints` prints the same
 //! rows the paper's Fig. 8 plots (performance % per kernel per page size)
-//! before running the criterion timing of one sub-figure sweep.
+//! before timing one sub-figure sweep with the in-repo microbench
+//! harness.
 
 use cgra_bench::fig8;
-use criterion::{criterion_group, Criterion};
+use cgra_bench::microbench::Bench;
 
 fn print_figure() {
     let points = fig8::run_all();
@@ -21,17 +22,8 @@ fn print_figure() {
     println!();
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("sweep_4x4_page4", |b| b.iter(|| fig8::run_config(4, 4)));
-    g.finish();
-}
-
-criterion_group!(benches, bench_fig8);
-
 fn main() {
     print_figure();
-    benches();
-    Criterion::default().configure_from_args().final_summary();
+    let bench = Bench::from_env().with_max_iters(10);
+    bench.run("fig8/sweep_4x4_page4", || fig8::run_config(4, 4));
 }

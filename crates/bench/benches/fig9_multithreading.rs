@@ -2,15 +2,15 @@
 //! 6x6 CGRA, then times the simulators.
 //!
 //! `cargo bench -p cgra-bench --bench fig9_multithreading` prints the
-//! Fig. 9(b)-style series before running criterion timings of one
-//! baseline and one multithreaded simulation.
+//! Fig. 9(b)-style series before timing one baseline and one
+//! multithreaded simulation with the in-repo microbench harness.
 
 use cgra_bench::fig9::{self, Fig9Params};
 use cgra_bench::libcache::LibCache;
+use cgra_bench::microbench::Bench;
 use cgra_sim::{
     generate, simulate_baseline, simulate_multithreaded, CgraNeed, MtConfig, WorkloadParams,
 };
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn print_figure(cache: &LibCache) {
@@ -30,8 +30,10 @@ fn print_figure(cache: &LibCache) {
     println!("{}", fig9::render(&points, 6));
 }
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let cache = LibCache::new();
+    print_figure(&cache);
+
     let lib = cache.get(6, 4);
     let workload = generate(
         &lib,
@@ -43,22 +45,11 @@ fn bench_fig9(c: &mut Criterion) {
             seed: 3,
         },
     );
-    let mut g = c.benchmark_group("fig9_simulators");
-    g.bench_function("baseline_8threads_6x6", |b| {
-        b.iter(|| simulate_baseline(black_box(&lib), black_box(&workload)))
+    let bench = Bench::from_env();
+    bench.run("fig9_simulators/baseline_8threads_6x6", || {
+        simulate_baseline(black_box(&lib), black_box(&workload))
     });
-    g.bench_function("multithreaded_8threads_6x6", |b| {
-        b.iter(|| {
-            simulate_multithreaded(black_box(&lib), black_box(&workload), MtConfig::default())
-        })
+    bench.run("fig9_simulators/multithreaded_8threads_6x6", || {
+        simulate_multithreaded(black_box(&lib), black_box(&workload), MtConfig::default())
     });
-    g.finish();
-}
-
-criterion_group!(benches, bench_fig9);
-
-fn main() {
-    print_figure(&LibCache::new());
-    benches();
-    Criterion::default().configure_from_args().final_summary();
 }

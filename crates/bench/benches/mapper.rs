@@ -3,39 +3,26 @@
 //! list-scheduling baseline vs constrained vs DRESC-style simulated
 //! annealing, on representative kernels.
 
+use cgra_bench::microbench::Bench;
 use cgra_mapper::{map_anneal, map_baseline, map_constrained, AnnealOptions, MapOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_mappers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mapper_compile_time");
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::from_env().with_max_iters(10);
     let cgra = cgra_arch::CgraConfig::square(4);
     let opts = MapOptions::default();
     for name in ["mpeg2", "sor", "sobel"] {
         let kernel = cgra_dfg::kernels::by_name(name).unwrap();
-        g.bench_with_input(BenchmarkId::new("baseline", name), &kernel, |b, k| {
-            b.iter(|| map_baseline(black_box(k), &cgra, &opts).unwrap())
+        bench.run(&format!("mapper_compile_time/baseline/{name}"), || {
+            map_baseline(black_box(&kernel), &cgra, &opts).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("constrained", name), &kernel, |b, k| {
-            b.iter(|| map_constrained(black_box(k), &cgra, &opts).unwrap())
+        bench.run(&format!("mapper_compile_time/constrained/{name}"), || {
+            map_constrained(black_box(&kernel), &cgra, &opts).unwrap()
         });
     }
     // Annealing is far slower; one kernel suffices to make the point.
     let kernel = cgra_dfg::kernels::mpeg2();
-    g.bench_function("anneal/mpeg2", |b| {
-        b.iter(|| {
-            map_anneal(
-                black_box(&kernel),
-                &cgra,
-                &opts,
-                &AnnealOptions::default(),
-            )
-            .unwrap()
-        })
+    bench.run("mapper_compile_time/anneal/mpeg2", || {
+        map_anneal(black_box(&kernel), &cgra, &opts, &AnnealOptions::default()).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_mappers);
-criterion_main!(benches);

@@ -6,66 +6,58 @@
 //! and — for contrast — a full constrained recompilation of a kernel
 //! (what a naive runtime would have to do instead).
 
+use cgra_bench::microbench::Bench;
 use cgra_core::transform::{transform_block, Strategy};
 use cgra_core::{transform_pagemaster, PagedSchedule};
 use cgra_mapper::{map_constrained, MapOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_pagemaster_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pagemaster_transform");
+fn bench_pagemaster_scaling(bench: &Bench) {
     for n in [4u16, 8, 16, 32] {
         let p = PagedSchedule::synthetic_canonical(n, 1, true);
         let m = (n / 2).max(2);
-        g.bench_with_input(BenchmarkId::new("drifting_N", n), &p, |b, p| {
-            b.iter(|| transform_pagemaster(black_box(p), m).unwrap())
+        bench.run(&format!("pagemaster_transform/drifting_N/{n}"), || {
+            transform_pagemaster(black_box(&p), m).unwrap()
         });
     }
     for ii in [1u32, 2, 4, 8] {
         let p = PagedSchedule::synthetic_canonical(8, ii, true);
-        g.bench_with_input(BenchmarkId::new("drifting_II", ii), &p, |b, p| {
-            b.iter(|| transform_pagemaster(black_box(p), 4).unwrap())
+        bench.run(&format!("pagemaster_transform/drifting_II/{ii}"), || {
+            transform_pagemaster(black_box(&p), 4).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_block_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block_transform");
+fn bench_block_scaling(bench: &Bench) {
     for n in [4u16, 8, 16, 32, 64] {
         let p = PagedSchedule::synthetic_canonical(n, 2, false);
         let m = (n / 2).max(1);
-        g.bench_with_input(BenchmarkId::new("N", n), &p, |b, p| {
-            b.iter(|| transform_block(black_box(p), m).unwrap())
+        bench.run(&format!("block_transform/N/{n}"), || {
+            transform_block(black_box(&p), m).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_transform_vs_recompile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime_adaptation");
-    g.sample_size(10);
+fn bench_transform_vs_recompile(bench: &Bench) {
     let cgra = cgra_arch::CgraConfig::square(4);
     let kernel = cgra_dfg::kernels::mpeg2();
     let opts = MapOptions::default();
     let mapped = map_constrained(&kernel, &cgra, &opts).unwrap();
-    let paged = PagedSchedule::from_mapping(&mapped, &cgra).unwrap().trimmed();
+    let paged = PagedSchedule::from_mapping(&mapped, &cgra)
+        .unwrap()
+        .trimmed();
 
-    g.bench_function("pagemaster_shrink_mpeg2", |b| {
-        b.iter(|| {
-            cgra_core::transform::transform(black_box(&paged), 2, Strategy::Auto).unwrap()
-        })
+    bench.run("runtime_adaptation/pagemaster_shrink_mpeg2", || {
+        cgra_core::transform::transform(black_box(&paged), 2, Strategy::Auto).unwrap()
     });
-    g.bench_function("full_recompile_mpeg2", |b| {
-        b.iter(|| map_constrained(black_box(&kernel), &cgra, &opts).unwrap())
+    bench.run("runtime_adaptation/full_recompile_mpeg2", || {
+        map_constrained(black_box(&kernel), &cgra, &opts).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pagemaster_scaling,
-    bench_block_scaling,
-    bench_transform_vs_recompile
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    bench_pagemaster_scaling(&bench);
+    bench_block_scaling(&bench);
+    bench_transform_vs_recompile(&bench);
+}

@@ -1,26 +1,49 @@
 //! Regenerate Figure 8: performance difference caused by the paging
 //! constraints, per CGRA size and page size.
 //!
-//! Usage: `cargo run -p cgra-bench --bin fig8 --release [-- --csv]`
+//! Usage: `cargo run -p cgra-bench --bin fig8 --release [-- FLAGS]`
+//!
+//! Flags:
+//!   --csv         emit CSV instead of tables
+//!   --strict      run the strict-discipline ablation instead
+//!   --jobs N, -j  worker threads (default: available cores, capped 16);
+//!                 output is byte-identical for every N
+//!   --no-cache    recompute every mapping; neither read nor write
+//!                 target/mapcache
 
+use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig8;
+use cgra_bench::mapcache::MapCache;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    if std::env::args().any(|a| a == "--strict") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = EngineConfig::from_args(&args);
+    let engine = Engine::new(cfg);
+    let cache = if cfg.use_cache {
+        MapCache::persistent()
+    } else {
+        MapCache::disabled()
+    };
+
+    if args.iter().any(|a| a == "--strict") {
         println!("## Ablation — strict 1-step discipline vs stable-column (4x4, page 4)\n");
         println!("kernel    II(stable)  II(strict)");
-        for (name, stable, strict) in fig8::strict_ablation(4, 4) {
+        for (name, stable, strict) in fig8::strict_ablation_with(&engine, &cache, 4, 4) {
             println!(
                 "{name:>8}  {stable:>10}  {}",
-                strict.map(|x| x.to_string()).unwrap_or_else(|| "unmappable".into())
+                strict
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "unmappable".into())
             );
         }
+        eprintln!("mapcache: {:?}", cache.stats());
         return;
     }
-    let points = fig8::run_all();
+    let points = fig8::run_all_with(&engine, &cache);
+    // Cache statistics go to stderr so stdout stays byte-deterministic.
+    eprintln!("mapcache: {:?}", cache.stats());
 
-    if csv {
+    if args.iter().any(|a| a == "--csv") {
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -37,7 +60,14 @@ fn main() {
         print!(
             "{}",
             cgra_bench::table::csv(
-                &["dim", "page_size", "kernel", "ii_baseline", "ii_constrained", "perf_pct"],
+                &[
+                    "dim",
+                    "page_size",
+                    "kernel",
+                    "ii_baseline",
+                    "ii_constrained",
+                    "perf_pct"
+                ],
                 &rows
             )
         );

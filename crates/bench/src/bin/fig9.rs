@@ -2,17 +2,26 @@
 //! support, per CGRA size, page size, CGRA need and thread count.
 //!
 //! Usage:
-//!   cargo run -p cgra-bench --bin fig9 --release
-//!   cargo run -p cgra-bench --bin fig9 --release -- --csv
-//!   cargo run -p cgra-bench --bin fig9 --release -- --ablation-overhead
-//!   cargo run -p cgra-bench --bin fig9 --release -- --ablation-policy
+//!   cargo run -p cgra-bench --bin fig9 --release [-- FLAGS]
+//!
+//! Flags:
+//!   --csv                 emit CSV instead of tables
+//!   --ablation-overhead   run ablation A1 instead
+//!   --ablation-policy     run ablation A2 instead
+//!   --jobs N, -j N        worker threads (default: available cores,
+//!                         capped 16); output is byte-identical for all N
+//!   --no-cache            recompute every mapping; neither read nor
+//!                         write target/mapcache
 
+use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig9::{self, Fig9Params};
 use cgra_bench::libcache::LibCache;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cache = LibCache::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = EngineConfig::from_args(&args);
+    let engine = Engine::new(cfg);
+    let cache = LibCache::for_config(cfg);
 
     if args.iter().any(|a| a == "--ablation-overhead") {
         println!("## Ablation A1 — switch-transformation overhead (8x8, page 4, 8 threads, need 87.5%)\n");
@@ -30,7 +39,9 @@ fn main() {
         return;
     }
 
-    let points = fig9::run_all(&cache, &Fig9Params::default());
+    let points = fig9::run_all_with(&engine, &cache, &Fig9Params::default());
+    // Cache statistics go to stderr so stdout stays byte-deterministic.
+    eprintln!("mapcache: {:?}", cache.map_cache().stats());
 
     if args.iter().any(|a| a == "--csv") {
         let rows: Vec<Vec<String>> = points
@@ -49,7 +60,14 @@ fn main() {
         print!(
             "{}",
             cgra_bench::table::csv(
-                &["dim", "page_size", "need", "threads", "improvement_pct", "mean_shrinks"],
+                &[
+                    "dim",
+                    "page_size",
+                    "need",
+                    "threads",
+                    "improvement_pct",
+                    "mean_shrinks"
+                ],
                 &rows
             )
         );

@@ -5,10 +5,16 @@
 //! compiler to follow our compile time constraints and compare this II to
 //! the baseline II_b." Performance = `100 · II_b / II_c` (%); 100 means
 //! identical performance, below 100 is a slowdown.
+//!
+//! Execution goes through the sweep [`Engine`] at `(dim, page_size,
+//! kernel)` granularity, and both IIs come from the content-keyed
+//! [`MapCache`] — the same per-kernel profiles the Fig. 9 simulations
+//! consume, so a combined report compiles each kernel exactly once.
 
+use crate::engine::Engine;
 use crate::libcache::cgra;
-use cgra_mapper::{map_baseline, map_constrained, map_constrained_strict, MapOptions};
-use rayon::prelude::*;
+use crate::mapcache::MapCache;
+use cgra_mapper::{map_constrained_strict, MapOptions};
 use serde::{Deserialize, Serialize};
 
 /// One bar of Figure 8.
@@ -33,56 +39,82 @@ impl Fig8Point {
     }
 }
 
-/// Run the Fig. 8 sweep for one `(dim, page_size)` sub-figure.
-pub fn run_config(dim: u16, page_size: usize) -> Vec<Fig8Point> {
+fn point(cache: &MapCache, dim: u16, page_size: usize, kernel: &cgra_dfg::Dfg) -> Fig8Point {
     let fabric = cgra(dim, page_size);
-    let opts = MapOptions::default();
-    cgra_dfg::kernels::all()
-        .par_iter()
-        .map(|k| {
-            let base = map_baseline(k, &fabric, &opts)
-                .unwrap_or_else(|e| panic!("baseline {}: {e}", k.name));
-            let cons = map_constrained(k, &fabric, &opts)
-                .unwrap_or_else(|e| panic!("constrained {}: {e}", k.name));
-            Fig8Point {
-                dim,
-                page_size,
-                kernel: k.name.clone(),
-                ii_baseline: base.ii(),
-                ii_constrained: cons.ii(),
-            }
-        })
-        .collect()
+    let profile = cache.profile(kernel, &fabric, &MapOptions::default());
+    Fig8Point {
+        dim,
+        page_size,
+        kernel: profile.name.clone(),
+        ii_baseline: profile.ii_baseline,
+        ii_constrained: profile.ii_constrained,
+    }
+}
+
+/// Run the Fig. 8 sweep for one `(dim, page_size)` sub-figure through an
+/// explicit engine and cache.
+pub fn run_config_with(
+    engine: &Engine,
+    cache: &MapCache,
+    dim: u16,
+    page_size: usize,
+) -> Vec<Fig8Point> {
+    let kernels = cgra_dfg::kernels::all();
+    engine.run(&kernels, |k| point(cache, dim, page_size, k))
+}
+
+/// Run the Fig. 8 sweep for one `(dim, page_size)` sub-figure with
+/// default parallelism and a private in-memory cache.
+pub fn run_config(dim: u16, page_size: usize) -> Vec<Fig8Point> {
+    run_config_with(&Engine::default(), &MapCache::in_memory(), dim, page_size)
 }
 
 /// Ablation: the strict 1-step discipline (Algorithm 1's input form)
 /// against the default stable-column discipline, on one fabric. Returns
 /// `(kernel, ii_stable, Option<ii_strict>)` — `None` when the kernel does
-/// not fit under strict rules.
-pub fn strict_ablation(dim: u16, page_size: usize) -> Vec<(String, u32, Option<u32>)> {
+/// not fit under strict rules. The stable II comes from the cache; the
+/// strict mapping is ablation-only and always computed fresh.
+pub fn strict_ablation_with(
+    engine: &Engine,
+    cache: &MapCache,
+    dim: u16,
+    page_size: usize,
+) -> Vec<(String, u32, Option<u32>)> {
     let fabric = cgra(dim, page_size);
     let opts = MapOptions::default();
-    cgra_dfg::kernels::all()
-        .par_iter()
-        .map(|k| {
-            let stable = map_constrained(k, &fabric, &opts)
-                .unwrap_or_else(|e| panic!("stable {}: {e}", k.name));
-            let strict = map_constrained_strict(k, &fabric, &opts).ok();
-            (k.name.clone(), stable.ii(), strict.map(|r| r.ii()))
-        })
-        .collect()
+    let kernels = cgra_dfg::kernels::all();
+    engine.run(&kernels, |k| {
+        let stable = cache.profile(k, &fabric, &opts).ii_constrained;
+        let strict = map_constrained_strict(k, &fabric, &opts).ok();
+        (k.name.clone(), stable, strict.map(|r| r.ii()))
+    })
 }
 
-/// Run the complete Fig. 8 grid (all sub-figures).
+/// [`strict_ablation_with`] with default parallelism and a private cache.
+pub fn strict_ablation(dim: u16, page_size: usize) -> Vec<(String, u32, Option<u32>)> {
+    strict_ablation_with(&Engine::default(), &MapCache::in_memory(), dim, page_size)
+}
+
+/// Run the complete Fig. 8 grid (all sub-figures) through an explicit
+/// engine and cache, flattened to `(dim, page_size, kernel)` points so
+/// every mapping is an independently scheduled unit of work.
+pub fn run_all_with(engine: &Engine, cache: &MapCache) -> Vec<Fig8Point> {
+    let kernels = cgra_dfg::kernels::all();
+    let mut points: Vec<(u16, usize, &cgra_dfg::Dfg)> = Vec::new();
+    for &(dim, sizes) in &crate::GRID {
+        for &s in sizes {
+            for k in &kernels {
+                points.push((dim, s, k));
+            }
+        }
+    }
+    engine.run(&points, |&(dim, s, k)| point(cache, dim, s, k))
+}
+
+/// Run the complete Fig. 8 grid with default parallelism and a private
+/// in-memory cache.
 pub fn run_all() -> Vec<Fig8Point> {
-    let configs: Vec<(u16, usize)> = crate::GRID
-        .iter()
-        .flat_map(|&(dim, sizes)| sizes.iter().map(move |&s| (dim, s)))
-        .collect();
-    configs
-        .par_iter()
-        .flat_map(|&(dim, s)| run_config(dim, s))
-        .collect()
+    run_all_with(&Engine::default(), &MapCache::in_memory())
 }
 
 /// Geometric-mean performance per `(dim, page_size)` — the summary rows
@@ -172,5 +204,13 @@ mod tests {
         for name in cgra_dfg::kernels::NAMES {
             assert!(s.contains(name));
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let cache = MapCache::in_memory();
+        let serial = run_config_with(&Engine::with_jobs(1), &cache, 4, 2);
+        let parallel = run_config_with(&Engine::with_jobs(4), &cache, 4, 2);
+        assert_eq!(serial, parallel);
     }
 }

@@ -5,13 +5,20 @@
 //! single-threaded FCFS baseline and on the multithreaded page-multiplexed
 //! CGRA, and report the percentage improvement in completion time,
 //! averaged over seeds.
+//!
+//! The sweep runs in two [`Engine`] phases: first the kernel libraries
+//! for every fabric in the grid are compiled (in parallel, deduplicated
+//! by the mapping cache), then the simulation points run in parallel.
+//! Workload seeds derive from point *coordinates* via
+//! [`crate::engine::point_seed`], so `--jobs N` output is byte-identical
+//! for every `N`.
 
+use crate::engine::{point_seed, Engine};
 use crate::libcache::LibCache;
 use cgra_sim::{
     generate, improvement_percent, simulate_baseline, simulate_multithreaded, CgraNeed,
     ExpandPolicy, MtConfig, WorkloadParams,
 };
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One bar of Figure 9 (mean over seeds).
@@ -81,7 +88,16 @@ pub fn run_point(
                 need,
                 work_per_thread: params.work_per_thread,
                 bursts: params.bursts,
-                seed: seed * 1000 + threads as u64 * 31 + dim as u64,
+                // Seeded from the point's coordinates only — never from
+                // worker identity or execution order (the engine's
+                // determinism contract).
+                seed: point_seed(&[
+                    dim as u64,
+                    page_size as u64,
+                    need as u64,
+                    threads as u64,
+                    seed,
+                ]),
             },
         );
         let base = simulate_baseline(&lib, &workload);
@@ -104,8 +120,20 @@ pub fn run_point(
     }
 }
 
-/// Run the full Fig. 9 grid.
-pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+/// Run the full Fig. 9 grid through an explicit engine and cache.
+pub fn run_all_with(engine: &Engine, cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+    // Phase 1: compile every fabric's library. Parallel across configs;
+    // the mapping cache deduplicates shared per-kernel profiles, so no
+    // compilation happens twice even when two configs race.
+    let configs: Vec<(u16, usize)> = crate::GRID
+        .iter()
+        .flat_map(|&(dim, sizes)| sizes.iter().map(move |&s| (dim, s)))
+        .collect();
+    engine.run(&configs, |&(dim, s)| {
+        cache.get(dim, s);
+    });
+
+    // Phase 2: the simulation points, self-scheduled across workers.
     let mut points: Vec<(u16, usize, CgraNeed, usize)> = Vec::new();
     for &(dim, sizes) in &crate::GRID {
         for &s in sizes {
@@ -116,16 +144,14 @@ pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
             }
         }
     }
-    // Warm the library cache serially (avoids duplicate compilations).
-    for &(dim, sizes) in &crate::GRID {
-        for &s in sizes {
-            cache.get(dim, s);
-        }
-    }
-    points
-        .par_iter()
-        .map(|&(dim, s, need, t)| run_point(cache, dim, s, need, t, params))
-        .collect()
+    engine.run(&points, |&(dim, s, need, t)| {
+        run_point(cache, dim, s, need, t, params)
+    })
+}
+
+/// Run the full Fig. 9 grid with default parallelism.
+pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+    run_all_with(&Engine::default(), cache, params)
 }
 
 /// Render one sub-figure (one CGRA size): rows = thread counts × needs.
@@ -150,9 +176,10 @@ pub fn render(points: &[Fig9Point], dim: u16) -> String {
         for need in CgraNeed::ALL {
             let mut row = vec![t.to_string(), need.label().to_string()];
             for &s in &sizes {
-                match points.iter().find(|p| {
-                    p.dim == dim && p.page_size == s && p.need == need && p.threads == t
-                }) {
+                match points
+                    .iter()
+                    .find(|p| p.dim == dim && p.page_size == s && p.need == need && p.threads == t)
+                {
                     Some(p) => row.push(format!("{:+.1}", p.improvement_pct)),
                     None => row.push("-".into()),
                 }
@@ -270,5 +297,13 @@ mod tests {
         // The measured cell is rendered signed; everything else is "-".
         assert!(s.contains("50%"));
         assert!(s.lines().count() > crate::THREAD_COUNTS.len() * CgraNeed::ALL.len());
+    }
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let cache = LibCache::new();
+        let a = run_point(&cache, 4, 2, CgraNeed::Medium, 4, &quick_params());
+        let b = run_point(&cache, 4, 2, CgraNeed::Medium, 4, &quick_params());
+        assert_eq!(a, b);
     }
 }

@@ -2,23 +2,34 @@
 //!
 //! Harness functions for every figure in the paper's evaluation section
 //! (§VII), shared by the `fig8`, `fig9` and `report` binaries and the
-//! criterion benches:
+//! in-repo benches:
 //!
+//! * [`engine`] — the parallel sweep engine (`--jobs N`), with the
+//!   byte-identical-output determinism contract.
 //! * [`fig8`] — Figure 8(a–c): per-kernel performance of the
 //!   paging-constrained mapping relative to the unconstrained baseline,
 //!   for each CGRA size and page size.
 //! * [`fig9`] — Figure 9(a–c): system-level improvement of the
 //!   multithreaded CGRA over the single-threaded FCFS baseline, for each
 //!   thread count, CGRA need, page size, and CGRA size.
-//! * [`libcache`] — compiled kernel-library cache shared across runs.
+//! * [`mapcache`] — content-keyed mapping / II-table cache, optionally
+//!   persisted to `target/mapcache` (`--no-cache` disables it).
+//! * [`libcache`] — compiled kernel-library facade over the map cache.
+//! * [`jsonio`] — dependency-free JSON codec backing the disk cache.
+//! * [`microbench`] — minimal wall-clock benchmark harness for the
+//!   `benches/` targets.
 //! * [`table`] — plain-text/markdown table rendering.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod fig8;
 pub mod fig9;
+pub mod jsonio;
 pub mod libcache;
+pub mod mapcache;
+pub mod microbench;
 pub mod table;
 
 /// The paper's experimental grid: `(dimension, page sizes)` per §VII-A.
@@ -26,11 +37,7 @@ pub mod table;
 /// not divide 36 (DESIGN.md, substitution 4). The paper skips 8-PE pages
 /// on the 4×4 for Fig. 9 ("not enough multithreading potential") but maps
 /// them in Fig. 8; we keep the point in both and let the data show it.
-pub const GRID: [(u16, &[usize]); 3] = [
-    (4, &[2, 4, 8]),
-    (6, &[2, 4, 9]),
-    (8, &[2, 4, 8]),
-];
+pub const GRID: [(u16, &[usize]); 3] = [(4, &[2, 4, 8]), (6, &[2, 4, 9]), (8, &[2, 4, 8])];
 
 /// Thread counts of Fig. 9.
 pub const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];

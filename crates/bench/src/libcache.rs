@@ -1,14 +1,19 @@
-//! Kernel-library compilation cache.
+//! Kernel-library compilation cache — the historical facade over the
+//! content-keyed [`crate::mapcache::MapCache`].
 //!
 //! Compiling the 11-kernel library (baseline + constrained mappings +
 //! all transforms) takes a second or two per fabric configuration; the
-//! Fig. 9 sweep reuses each library across needs × thread counts × seeds.
+//! Fig. 9 sweep reuses each library across needs × thread counts × seeds,
+//! and Fig. 8 shares the same per-kernel profiles. `LibCache` keeps the
+//! `(dim, page_size)`-keyed API the sweeps and tests always used, while
+//! delegating storage, de-duplication and optional disk persistence to
+//! `MapCache`.
 
+use crate::engine::EngineConfig;
+use crate::mapcache::MapCache;
 use cgra_arch::CgraConfig;
 use cgra_mapper::MapOptions;
 use cgra_sim::KernelLibrary;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Build (or panic on mapper failure for) the fabric `dim × dim` with the
@@ -20,35 +25,45 @@ pub fn cgra(dim: u16, page_size: usize) -> CgraConfig {
 }
 
 /// A process-wide cache of compiled kernel libraries keyed by
-/// `(dim, page_size)`.
-#[derive(Default)]
+/// `(dim, page_size)`, compiled under [`MapOptions::default`].
+#[derive(Debug, Default)]
 pub struct LibCache {
-    inner: Mutex<HashMap<(u16, usize), Arc<KernelLibrary>>>,
+    inner: MapCache,
 }
 
 impl LibCache {
-    /// Create an empty cache.
+    /// An empty, memory-only cache (the default for tests).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Get or compile the library for a configuration.
-    pub fn get(&self, dim: u16, page_size: usize) -> Arc<KernelLibrary> {
-        if let Some(lib) = self.inner.lock().get(&(dim, page_size)) {
-            return lib.clone();
+    /// A cache over an explicitly configured [`MapCache`].
+    pub fn over(inner: MapCache) -> Self {
+        LibCache { inner }
+    }
+
+    /// The cache matching a sweep configuration: persistent under
+    /// `target/mapcache` normally, recompute-everything when the user
+    /// passed `--no-cache`.
+    pub fn for_config(cfg: EngineConfig) -> Self {
+        if cfg.use_cache {
+            Self::over(MapCache::persistent())
+        } else {
+            Self::over(MapCache::disabled())
         }
-        // Compile outside the lock (rayon threads may race; last write
-        // wins, both values identical because compilation is
-        // deterministic).
-        let lib = Arc::new(
-            KernelLibrary::compile_benchmarks(&cgra(dim, page_size), &MapOptions::default())
-                .unwrap_or_else(|e| panic!("library {dim}x{dim}/p{page_size}: {e}")),
-        );
+    }
+
+    /// Get or compile the library for a configuration. Concurrent misses
+    /// on the same key compile once; the rest share the result.
+    pub fn get(&self, dim: u16, page_size: usize) -> Arc<KernelLibrary> {
         self.inner
-            .lock()
-            .entry((dim, page_size))
-            .or_insert(lib)
-            .clone()
+            .library(&cgra(dim, page_size), &MapOptions::default())
+    }
+
+    /// The underlying content-keyed cache (per-kernel profile access,
+    /// statistics).
+    pub fn map_cache(&self) -> &MapCache {
+        &self.inner
     }
 }
 
@@ -62,5 +77,17 @@ mod tests {
         let a = cache.get(4, 4);
         let b = cache.get(4, 4);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn no_cache_config_recomputes() {
+        let cache = LibCache::for_config(EngineConfig {
+            jobs: 1,
+            use_cache: false,
+        });
+        let a = cache.get(4, 4);
+        let b = cache.get(4, 4);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b, "library compilation must be deterministic");
     }
 }

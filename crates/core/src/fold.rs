@@ -178,10 +178,7 @@ pub fn validate_fold(
 
     // Page confinement + slot exclusivity.
     let mut slots = std::collections::HashSet::new();
-    let all_steps = folded
-        .ops
-        .iter()
-        .chain(folded.routes.iter().flatten());
+    let all_steps = folded.ops.iter().chain(folded.routes.iter().flatten());
     for op in all_steps {
         if layout.page_of(op.pe) != folded.target {
             violations.push(FoldViolation::OutsidePage { pe: op.pe });
@@ -247,9 +244,7 @@ fn check_step_shared(
     violations: &mut Vec<FoldViolation>,
     pressure: &mut std::collections::HashMap<PeId, PressureTracker>,
 ) {
-    let legal = |s: &FoldedOp| {
-        to.time > s.time && (s.pe == to.pe || mesh.adjacent(s.pe, to.pe))
-    };
+    let legal = |s: &FoldedOp| to.time > s.time && (s.pe == to.pe || mesh.adjacent(s.pe, to.pe));
     let source = if legal(&from) {
         Some(from)
     } else {
@@ -288,7 +283,9 @@ pub fn peak_rf_requirement(result: &MapResult, cgra: &CgraConfig, folded: &Folde
     // Reuse the validator with an unlimited RF and read back the peaks.
     let roomy = cgra.clone().with_rf_size(u16::MAX);
     let violations = validate_fold(result, &roomy, folded);
-    debug_assert!(violations.iter().all(|v| !matches!(v, FoldViolation::RfOverflow { .. })));
+    debug_assert!(violations
+        .iter()
+        .all(|v| !matches!(v, FoldViolation::RfOverflow { .. })));
     // Recompute directly for the actual peak.
     let mesh = cgra.mesh();
     let mut pressure: std::collections::HashMap<PeId, PressureTracker> =
@@ -384,12 +381,8 @@ mod tests {
     #[test]
     fn fold_works_onto_any_target_page() {
         let cgra = CgraConfig::square(4);
-        let r = map_constrained(
-            &cgra_dfg::kernels::laplace(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r = map_constrained(&cgra_dfg::kernels::laplace(), &cgra, &MapOptions::default())
+            .expect("maps");
         for target in 0..4u16 {
             let folded = fold_to_page(&r, &cgra, PageId(target)).expect("folds");
             let v = validate_fold(&r, &cgra, &folded);
@@ -411,7 +404,9 @@ mod tests {
         let folded = fold_to_page(&r, &roomy, PageId(0)).expect("folds");
         let tiny = roomy.clone().with_rf_size(1);
         let v = validate_fold(&r, &tiny, &folded);
-        assert!(v.iter().any(|x| matches!(x, FoldViolation::RfOverflow { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, FoldViolation::RfOverflow { .. })));
     }
 
     #[test]
@@ -420,12 +415,8 @@ mod tests {
         // suffice for a shrink to one page; fanout parking makes the true
         // peak larger on wide kernels.
         let cgra = CgraConfig::square(4).with_rf_size(32);
-        let r = map_constrained(
-            &cgra_dfg::kernels::yuv2rgb(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r = map_constrained(&cgra_dfg::kernels::yuv2rgb(), &cgra, &MapOptions::default())
+            .expect("maps");
         let folded = fold_to_page(&r, &cgra, PageId(0)).expect("folds");
         let peak = peak_rf_requirement(&r, &cgra, &folded);
         let n_pages = cgra.layout().num_pages() as u32;
@@ -435,12 +426,9 @@ mod tests {
     #[test]
     fn fold_rejects_baseline() {
         let cgra = CgraConfig::square(4);
-        let r = cgra_mapper::map_baseline(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r =
+            cgra_mapper::map_baseline(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+                .expect("maps");
         assert!(fold_to_page(&r, &cgra, PageId(0)).is_err());
     }
 
@@ -450,12 +438,8 @@ mod tests {
             .with_page_size(2)
             .unwrap()
             .with_rf_size(32);
-        let r = map_constrained(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r = map_constrained(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+            .expect("maps");
         let folded = fold_to_page(&r, &cgra, PageId(0)).expect("folds");
         assert_eq!(folded.ii_q, 8 * r.ii() as u64);
         let v = validate_fold(&r, &cgra, &folded);

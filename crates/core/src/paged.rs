@@ -161,9 +161,7 @@ impl PagedSchedule {
     /// Whether any dependence wraps the ring (`N−1 → 0`). Mapper-produced
     /// schedules never wrap; synthetic ones may.
     pub fn has_wrap_deps(&self) -> bool {
-        self.deps
-            .iter()
-            .any(|d| d.to_page < d.from_page)
+        self.deps.iter().any(|d| d.to_page < d.from_page)
     }
 
     /// Extract the page-level schedule from a constrained mapping.
@@ -223,12 +221,10 @@ impl PagedSchedule {
                         read_time: u32|
              -> Option<(cgra_arch::PeId, u32)> {
                 sources.iter().copied().find(|&(pe, t)| {
-                    (pe == to_pe || mesh.adjacent(pe, to_pe))
-                        && read_time > t
-                        && {
-                            let (a, b) = (layout.page_of(pe), layout.page_of(to_pe));
-                            layout.is_ring_step(a, b)
-                        }
+                    (pe == to_pe || mesh.adjacent(pe, to_pe)) && read_time > t && {
+                        let (a, b) = (layout.page_of(pe), layout.page_of(to_pe));
+                        layout.is_ring_step(a, b)
+                    }
                 })
             };
 
@@ -237,14 +233,13 @@ impl PagedSchedule {
                 ps.cell_mut(layout.page_of(h.pe).0, h.time % ii).routes += 1;
                 let mut sources = vec![loc];
                 sources.extend(sites.iter().copied());
-                let (spe, st) = pick(&sources, h.pe, h.time).ok_or(ExtractError::IllegalDep(
-                    PageDep {
+                let (spe, st) =
+                    pick(&sources, h.pe, h.time).ok_or(ExtractError::IllegalDep(PageDep {
                         from_page: layout.page_of(loc.0).0,
                         from_time: loc.1,
                         to_page: layout.page_of(h.pe).0,
                         to_time: h.time,
-                    },
-                ))?;
+                    }))?;
                 ps.push_dep(PageDep {
                     from_page: layout.page_of(spe).0,
                     from_time: st,
@@ -380,12 +375,8 @@ mod tests {
     #[test]
     fn extraction_from_constrained_mapping() {
         let cgra = cgra_arch::CgraConfig::square(4);
-        let r = map_constrained(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r = map_constrained(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+            .expect("maps");
         let ps = PagedSchedule::from_mapping(&r, &cgra).expect("extracts");
         assert_eq!(ps.num_pages, 4);
         assert_eq!(ps.ii, r.ii());
@@ -400,12 +391,8 @@ mod tests {
     #[test]
     fn strict_mapping_extracts_canonical() {
         let cgra = cgra_arch::CgraConfig::square(4);
-        let r = map_constrained_strict(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps strictly");
+        let r = map_constrained_strict(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+            .expect("maps strictly");
         let ps = PagedSchedule::from_mapping(&r, &cgra).expect("extracts");
         assert_eq!(ps.discipline, Discipline::Canonical);
         // Canonical: every dep spans exactly one cycle.
@@ -415,12 +402,9 @@ mod tests {
     #[test]
     fn baseline_mapping_rejected() {
         let cgra = cgra_arch::CgraConfig::square(4);
-        let r = cgra_mapper::map_baseline(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("maps");
+        let r =
+            cgra_mapper::map_baseline(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+                .expect("maps");
         assert_eq!(
             PagedSchedule::from_mapping(&r, &cgra).unwrap_err(),
             ExtractError::NotConstrained

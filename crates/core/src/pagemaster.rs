@@ -15,8 +15,8 @@
 //!    * two hops apart → the middle column;
 //!    * one hop apart → the boundary column (0 or M−1);
 //!    * zero hops apart → the less-loaded neighbouring column;
-//!    in every case at the earliest free time in that column after both
-//!    producers have executed.
+//!      in every case at the earliest free time in that column after
+//!      both producers have executed.
 //! 3. **Steady state**: cells are placed for a warm-up window of
 //!    iterations; the transformation succeeds when the column pattern and
 //!    inter-iteration time shift become periodic. The periodic tail is
@@ -180,68 +180,67 @@ pub fn transform_pagemaster(p: &PagedSchedule, m: u16) -> Result<ShrinkPlan, Tra
         }
         v
     };
-    let try_detect = |pos: &HashMap<(u16, u64), (u16, u64)>,
-                      completed_iters: u64|
-     -> Option<ShrinkPlan> {
-        let last = completed_iters.checked_sub(1)?;
-        for period in 1..=MAX_PERIOD as u64 {
-            if period * 3 + 1 > last {
-                break;
-            }
-            let base_iter = last - period * 2;
-            let a = sig(pos, base_iter);
-            let b = sig(pos, base_iter + period);
-            let c = sig(pos, base_iter + period * 2);
-            // Columns must repeat and times must shift uniformly, over
-            // two consecutive periods (one matching pair is not proof of
-            // a steady state).
-            let shift = b[0].1 as i64 - a[0].1 as i64;
-            if shift <= 0 {
-                continue;
-            }
-            let matches = a.iter().zip(&b).zip(&c).all(|((x, y), z)| {
-                x.0 == y.0
-                    && y.0 == z.0
-                    && y.1 as i64 - x.1 as i64 == shift
-                    && z.1 as i64 - y.1 as i64 == shift
-            });
-            if !matches {
-                continue;
-            }
-            // Extract the period starting at base_iter.
-            let t0 = (0..n)
-                .flat_map(|page| (0..ii).map(move |slot| (page, slot)))
-                .map(|(page, slot)| pos[&(page, base_iter * ii + slot)].1)
-                .min()
-                .expect("non-empty schedule");
-            let mut placements = Vec::with_capacity(period as usize);
-            for j in 0..period {
-                let mut map = HashMap::new();
-                for page in 0..n {
-                    for slot in 0..p.ii {
-                        let (col, t) = pos[&(page, (base_iter + j) * ii + slot as u64)];
-                        map.insert((page, slot), CellPlacement { col, time: t - t0 });
-                    }
+    let try_detect =
+        |pos: &HashMap<(u16, u64), (u16, u64)>, completed_iters: u64| -> Option<ShrinkPlan> {
+            let last = completed_iters.checked_sub(1)?;
+            for period in 1..=MAX_PERIOD as u64 {
+                if period * 3 + 1 > last {
+                    break;
                 }
-                placements.push(map);
+                let base_iter = last - period * 2;
+                let a = sig(pos, base_iter);
+                let b = sig(pos, base_iter + period);
+                let c = sig(pos, base_iter + period * 2);
+                // Columns must repeat and times must shift uniformly, over
+                // two consecutive periods (one matching pair is not proof of
+                // a steady state).
+                let shift = b[0].1 as i64 - a[0].1 as i64;
+                if shift <= 0 {
+                    continue;
+                }
+                let matches = a.iter().zip(&b).zip(&c).all(|((x, y), z)| {
+                    x.0 == y.0
+                        && y.0 == z.0
+                        && y.1 as i64 - x.1 as i64 == shift
+                        && z.1 as i64 - y.1 as i64 == shift
+                });
+                if !matches {
+                    continue;
+                }
+                // Extract the period starting at base_iter.
+                let t0 = (0..n)
+                    .flat_map(|page| (0..ii).map(move |slot| (page, slot)))
+                    .map(|(page, slot)| pos[&(page, base_iter * ii + slot)].1)
+                    .min()
+                    .expect("non-empty schedule");
+                let mut placements = Vec::with_capacity(period as usize);
+                for j in 0..period {
+                    let mut map = HashMap::new();
+                    for page in 0..n {
+                        for slot in 0..p.ii {
+                            let (col, t) = pos[&(page, (base_iter + j) * ii + slot as u64)];
+                            map.insert((page, slot), CellPlacement { col, time: t - t0 });
+                        }
+                    }
+                    placements.push(map);
+                }
+                let plan = ShrinkPlan {
+                    m,
+                    period: period as u32,
+                    span: shift as u64,
+                    placements,
+                    strategy: Strategy::PageMaster,
+                };
+                // Final guard: a drifting process can mimic periodicity over a
+                // finite window; only hand out plans that pass the full §VI-C
+                // validator. Otherwise keep looking (longer periods / more
+                // warm-up).
+                if crate::validate::validate_plan(p, &plan).is_empty() {
+                    return Some(plan);
+                }
             }
-            let plan = ShrinkPlan {
-                m,
-                period: period as u32,
-                span: shift as u64,
-                placements,
-                strategy: Strategy::PageMaster,
-            };
-            // Final guard: a drifting process can mimic periodicity over a
-            // finite window; only hand out plans that pass the full §VI-C
-            // validator. Otherwise keep looking (longer periods / more
-            // warm-up).
-            if crate::validate::validate_plan(p, &plan).is_empty() {
-                return Some(plan);
-            }
-        }
-        None
-    };
+            None
+        };
 
     let total_steps = WARMUP_ITERS as u64 * p.ii as u64;
     for step in 1..total_steps {
@@ -265,7 +264,7 @@ pub fn transform_pagemaster(p: &PagedSchedule, m: u16) -> Result<ShrinkPlan, Tra
         // Early exit: after each completed iteration, look for a period.
         if step % ii == ii - 1 {
             let completed = (step + 1) / ii;
-            if completed >= 8 && completed % 4 == 0 {
+            if completed >= 8 && completed.is_multiple_of(4) {
                 if let Some(plan) = try_detect(&pos, completed) {
                     return Ok(plan);
                 }
@@ -421,8 +420,8 @@ mod tests {
             let p = PagedSchedule::synthetic_canonical(n, 1, true);
             let mut m = n / 2;
             while m >= 2 {
-                let plan = transform_pagemaster(&p, m)
-                    .unwrap_or_else(|e| panic!("N={n} M={m}: {e}"));
+                let plan =
+                    transform_pagemaster(&p, m).unwrap_or_else(|e| panic!("N={n} M={m}: {e}"));
                 assert!(
                     plan.ii_q() + 1e-9 >= n as f64 / m as f64,
                     "N={n} M={m}: ii_q {} below capacity bound",

@@ -114,13 +114,19 @@ impl std::fmt::Display for TransformError {
         match self {
             TransformError::BadTargetSize { m } => write!(f, "invalid target size M={m}"),
             TransformError::NeedsCanonical => {
-                write!(f, "PageMaster strategy requires canonical 1-step dependences")
+                write!(
+                    f,
+                    "PageMaster strategy requires canonical 1-step dependences"
+                )
             }
             TransformError::WrapUnsupported => {
                 write!(f, "block strategy cannot realise ring-wrap dependences")
             }
             TransformError::DependencyTooFar { d1, d2 } => {
-                write!(f, "dependency columns {d1} and {d2} more than two hops apart")
+                write!(
+                    f,
+                    "dependency columns {d1} and {d2} more than two hops apart"
+                )
             }
             TransformError::NoSteadyState => write!(f, "no steady state within warm-up budget"),
         }
@@ -136,7 +142,7 @@ impl std::error::Error for TransformError {}
 pub fn snake_col(n: u16, m: u16) -> u16 {
     let b = n / m;
     let r = n % m;
-    if b % 2 == 0 {
+    if b.is_multiple_of(2) {
         r
     } else {
         m - 1 - r
@@ -190,8 +196,7 @@ pub fn transform(
         Strategy::PageMaster => crate::pagemaster::transform_pagemaster(p, m),
         Strategy::Auto => {
             if p.discipline == Discipline::Canonical {
-                crate::pagemaster::transform_pagemaster(p, m)
-                    .or_else(|_| transform_block(p, m))
+                crate::pagemaster::transform_pagemaster(p, m).or_else(|_| transform_block(p, m))
             } else {
                 transform_block(p, m)
             }

@@ -90,12 +90,22 @@ impl std::fmt::Display for TransformViolation {
             TransformViolation::SlotCollision { col, time } => {
                 write!(f, "two cells at (col {col}, t {time})")
             }
-            TransformViolation::DepTiming { from, to, t_from, t_to } => write!(
+            TransformViolation::DepTiming {
+                from,
+                to,
+                t_from,
+                t_to,
+            } => write!(
                 f,
                 "dep ({},{}) -> ({},{}): consumer at {t_to} not after producer at {t_from}",
                 from.0, from.1, to.0, to.1
             ),
-            TransformViolation::DepColumns { from, to, col_from, col_to } => write!(
+            TransformViolation::DepColumns {
+                from,
+                to,
+                col_from,
+                col_to,
+            } => write!(
                 f,
                 "dep ({},{}) -> ({},{}): columns {col_from} and {col_to} not adjacent",
                 from.0, from.1, to.0, to.1
@@ -172,9 +182,8 @@ pub fn validate_plan(p: &PagedSchedule, plan: &ShrinkPlan) -> Vec<TransformViola
 
     // Wrap-column adjacency is only physical for the identity-size plan.
     let wrap_ok = plan.m == p.num_pages;
-    let cols_adjacent = |a: u16, b: u16| {
-        a.abs_diff(b) <= 1 || (wrap_ok && a.min(b) == 0 && a.max(b) == plan.m - 1)
-    };
+    let cols_adjacent =
+        |a: u16, b: u16| a.abs_diff(b) <= 1 || (wrap_ok && a.min(b) == 0 && a.max(b) == plan.m - 1);
 
     // --- Dependences, instantiated over the window. ---
     for dep in &p.deps {
@@ -289,7 +298,8 @@ mod tests {
         plan.placements[0].insert((3, 0), c2);
         let v = validate_plan(&p, &plan);
         assert!(
-            v.iter().any(|x| matches!(x, TransformViolation::SlotCollision { .. })),
+            v.iter()
+                .any(|x| matches!(x, TransformViolation::SlotCollision { .. })),
             "{v:?}"
         );
     }

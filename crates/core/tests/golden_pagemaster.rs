@@ -1,0 +1,131 @@
+//! Golden-file snapshots of the PageMaster transform for one small
+//! kernel: the paged schedule before (as extracted from the constrained
+//! mapping) and the shrink plan after, rendered to a canonical text form
+//! and compared byte-for-byte against committed snapshots in
+//! `tests/golden/`.
+//!
+//! These catch *silent* behaviour changes the invariant-based validators
+//! cannot: a plan can stay valid while placing cells differently (and the
+//! mapping cache keys such semantic changes only via the `SCHEMA` bump —
+//! see `cgra-bench::mapcache`). If a change here is intentional, refresh
+//! the snapshots with `UPDATE_GOLDEN=1 cargo test -p cgra-core --test
+//! golden_pagemaster` and bump that schema constant in the same commit.
+//!
+//! Every snapshot is cross-checked with `validate_plan` before
+//! comparison, so a stale-but-valid golden file can never mask an invalid
+//! transform.
+
+use cgra_core::transform::{transform, Strategy};
+use cgra_core::{validate_plan, PagedSchedule, ShrinkPlan};
+use cgra_mapper::{map_constrained, MapOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const KERNEL: &str = "fir";
+
+fn paged_fixture() -> PagedSchedule {
+    let dfg = cgra_dfg::kernels::by_name(KERNEL).expect("kernel exists");
+    let cgra = cgra_arch::CgraConfig::square(4);
+    let mapped = map_constrained(&dfg, &cgra, &MapOptions::default()).expect("maps");
+    PagedSchedule::from_mapping(&mapped, &cgra)
+        .expect("extracts")
+        .trimmed()
+}
+
+/// Canonical text rendering of a paged schedule (sorted, no HashMap
+/// iteration order anywhere).
+fn render_schedule(p: &PagedSchedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel: {}", p.name);
+    let _ = writeln!(out, "pages: {}", p.num_pages);
+    let _ = writeln!(out, "ii: {}", p.ii);
+    let _ = writeln!(out, "discipline: {:?}", p.discipline);
+    for page in 0..p.num_pages {
+        for slot in 0..p.ii {
+            let cell = &p.cells[(page as u32 * p.ii + slot) as usize];
+            let mut ops = cell.compute.clone();
+            ops.sort_unstable();
+            let _ = writeln!(
+                out,
+                "cell p{page} s{slot}: compute={ops:?} routes={}",
+                cell.routes
+            );
+        }
+    }
+    let mut deps: Vec<_> = p
+        .deps
+        .iter()
+        .map(|d| (d.from_page, d.from_time, d.to_page, d.to_time))
+        .collect();
+    deps.sort_unstable();
+    for (fp, ft, tp, tt) in deps {
+        let _ = writeln!(out, "dep: p{fp}@{ft} -> p{tp}@{tt}");
+    }
+    out
+}
+
+/// Canonical text rendering of a shrink plan.
+fn render_plan(plan: &ShrinkPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "m: {}", plan.m);
+    let _ = writeln!(out, "period: {}", plan.period);
+    let _ = writeln!(out, "span: {}", plan.span);
+    let _ = writeln!(out, "ii_q_ceil: {}", plan.ii_q_ceil());
+    let _ = writeln!(out, "strategy: {:?}", plan.strategy);
+    for (iter, placements) in plan.placements.iter().enumerate() {
+        let mut cells: Vec<_> = placements
+            .iter()
+            .map(|(&(page, slot), c)| (page, slot, c.col, c.time))
+            .collect();
+        cells.sort_unstable();
+        for (page, slot, col, time) in cells {
+            let _ = writeln!(out, "iter {iter}: p{page} s{slot} -> col {col} t{time}");
+        }
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot {name} diverged; if intentional, rerun with UPDATE_GOLDEN=1 \
+         and bump cgra-bench::mapcache::SCHEMA in the same commit"
+    );
+}
+
+#[test]
+fn schedule_before_matches_golden() {
+    let paged = paged_fixture();
+    check_golden(&format!("{KERNEL}_before.txt"), &render_schedule(&paged));
+}
+
+#[test]
+fn shrink_plans_match_golden_and_validate() {
+    let paged = paged_fixture();
+    for m in 1..=paged.num_pages {
+        let plan = transform(&paged, m, Strategy::Auto).expect("transforms");
+        // The validator is the ground truth; the snapshot only pins the
+        // exact placement choice among the valid ones.
+        let violations = validate_plan(&paged, &plan);
+        assert!(violations.is_empty(), "M={m}: {violations:?}");
+        check_golden(&format!("{KERNEL}_after_m{m}.txt"), &render_plan(&plan));
+    }
+}

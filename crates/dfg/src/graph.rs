@@ -160,6 +160,32 @@ impl Dfg {
         }
     }
 
+    /// A stable 64-bit structural fingerprint: FNV-1a over the name,
+    /// every node's op kind, and every edge's `(src, dst, distance)`.
+    /// Mapping caches key on this so a kernel edit (same name, different
+    /// body) invalidates stale entries instead of silently reusing them.
+    /// Labels are excluded — they are display-only and do not affect
+    /// mapping.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3); // FNV prime
+            }
+        };
+        eat(self.name.as_bytes());
+        for n in &self.nodes {
+            eat(&[n.op as u8]);
+        }
+        for e in &self.edges {
+            eat(&e.src.0.to_le_bytes());
+            eat(&e.dst.0.to_le_bytes());
+            eat(&e.distance.to_le_bytes());
+        }
+        h
+    }
+
     /// Number of operations.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -220,8 +246,7 @@ impl Dfg {
         // otherwise-ordered nodes is not. Detect via SCCs of size > 1 or
         // self-loops.
         let sccs = crate::analysis::sccs(self);
-        sccs.iter().any(|scc| scc.len() > 1)
-            || self.edges.iter().any(|e| e.src == e.dst)
+        sccs.iter().any(|scc| scc.len() > 1) || self.edges.iter().any(|e| e.src == e.dst)
     }
 }
 

@@ -4,9 +4,9 @@
 //!
 //! `x[i] += ω · (x_new[i−1] + x[i+1] − 2·x[i])`
 //!
-//! The recurrence cycle (sum → diff → scale → new → sum, carried distance
-//! 1) bounds II at 4 regardless of fabric size — exactly the class of
-//! kernel Fig. 3 argues cannot fill a CGRA alone.
+//! The recurrence cycle (sum → diff → scale → new → sum, carried
+//! distance 1) bounds II at 4 regardless of fabric size — exactly the
+//! class of kernel Fig. 3 argues cannot fill a CGRA alone.
 
 use crate::builder::DfgBuilder;
 use crate::graph::{Dfg, OpKind};

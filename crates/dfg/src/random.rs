@@ -173,10 +173,7 @@ mod tests {
         let g = random_dfg(11, RandomDfgParams::default());
         for id in g.node_ids() {
             if g.node(id).op != OpKind::Load {
-                assert!(
-                    g.pred_edges(id).count() > 0,
-                    "{id} has no predecessor"
-                );
+                assert!(g.pred_edges(id).count() > 0, "{id} has no predecessor");
             }
         }
     }

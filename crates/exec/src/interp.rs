@@ -21,7 +21,10 @@ impl InputStreams {
         let mut streams = HashMap::new();
         for n in dfg.node_ids() {
             if dfg.node(n).op == OpKind::Load && dfg.pred_edges(n).count() == 0 {
-                streams.insert(n.0, (0..iters).map(|_| rng.gen_range(-1000..1000)).collect());
+                streams.insert(
+                    n.0,
+                    (0..iters).map(|_| rng.gen_range(-1000..1000)).collect(),
+                );
             }
         }
         InputStreams { streams }
@@ -50,10 +53,7 @@ fn topo_order(dfg: &Dfg) -> Vec<NodeId> {
             indeg[e.dst.index()] += 1;
         }
     }
-    let mut queue: Vec<NodeId> = dfg
-        .node_ids()
-        .filter(|v| indeg[v.index()] == 0)
-        .collect();
+    let mut queue: Vec<NodeId> = dfg.node_ids().filter(|v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop() {
         order.push(v);
@@ -67,7 +67,11 @@ fn topo_order(dfg: &Dfg) -> Vec<NodeId> {
             }
         }
     }
-    assert_eq!(order.len(), n, "zero-distance cycle slipped past validation");
+    assert_eq!(
+        order.len(),
+        n,
+        "zero-distance cycle slipped past validation"
+    );
     order
 }
 
@@ -125,9 +129,9 @@ mod tests {
         let dfg = b.build().unwrap();
         let inputs = InputStreams::random(&dfg, 4, 1);
         let out = interpret(&dfg, &inputs, 4);
-        for i in 0..4 {
+        for (i, &v) in out[&st.0].iter().enumerate() {
             let x_v = inputs.get(x, i);
-            assert_eq!(out[&st.0][i], (x_v + x_v) << 1);
+            assert_eq!(v, (x_v + x_v) << 1);
         }
     }
 
@@ -143,9 +147,9 @@ mod tests {
         let inputs = InputStreams::random(&dfg, 5, 2);
         let out = interpret(&dfg, &inputs, 5);
         let mut sum = 0i64;
-        for i in 0..5 {
+        for (i, &v) in out[&st.0].iter().enumerate() {
             sum += inputs.get(x, i);
-            assert_eq!(out[&st.0][i], sum);
+            assert_eq!(v, sum);
         }
     }
 
@@ -161,8 +165,8 @@ mod tests {
         let out = interpret(&dfg, &inputs, 6);
         assert_eq!(out[&st.0][0], 0);
         assert_eq!(out[&st.0][1], 0);
-        for i in 2..6 {
-            assert_eq!(out[&st.0][i], inputs.get(x, i - 2));
+        for (i, &v) in out[&st.0].iter().enumerate().skip(2) {
+            assert_eq!(v, inputs.get(x, i - 2));
         }
     }
 

@@ -94,7 +94,10 @@ impl std::fmt::Display for ExecError {
                 write!(f, "read across non-link: {source} -> {reader}")
             }
             ExecError::MemoryNotReady { store, instance } => {
-                write!(f, "memory from store n{store} instance {instance} not ready")
+                write!(
+                    f,
+                    "memory from store n{store} instance {instance} not ready"
+                )
             }
             ExecError::NoReadSource { edge } => write!(f, "edge #{edge} has no read source"),
         }
@@ -140,9 +143,7 @@ fn edge_plans(
             .flat_map(|e2| sched.routes[e2.index()].iter().copied())
             .collect();
         let pick = |loc: (PeId, u64), to: PeId, read_time: u64| -> Option<(PeId, u64)> {
-            let legal = |(pe, t): (PeId, u64)| {
-                read_time > t && (pe == to || mesh.adjacent(pe, to))
-            };
+            let legal = |(pe, t): (PeId, u64)| read_time > t && (pe == to || mesh.adjacent(pe, to));
             if legal(loc) {
                 return Some(loc);
             }
@@ -171,8 +172,13 @@ enum EventKind {
     /// order within a cycle is by (time, kind, index); reads only accept
     /// values published at strictly earlier cycles, so intra-cycle order
     /// does not matter for correctness — only for determinism.
-    Node { node: u32 },
-    Hop { edge: u32, hop: u32 },
+    Node {
+        node: u32,
+    },
+    Hop {
+        edge: u32,
+        hop: u32,
+    },
 }
 
 /// Execute `sched` of `mdfg` on a fabric with `mesh`, feeding `inputs`,
@@ -215,9 +221,9 @@ pub fn execute(
     let mut memory: HashMap<(u32, u64), (u64, Word)> = HashMap::new();
     let mut outputs: Outputs = HashMap::new();
     let publish = |map: &mut HashMap<(PeId, u32, u64), (u64, Word)>,
-                       key: (PeId, u32, u64),
-                       avail: u64,
-                       value: Word| {
+                   key: (PeId, u32, u64),
+                   avail: u64,
+                   value: Word| {
         let entry = map.entry(key).or_insert((avail, value));
         debug_assert_eq!(entry.1, value, "conflicting value republished at {key:?}");
         if avail < entry.0 {
@@ -306,7 +312,7 @@ pub fn execute(
                 if op == OpKind::Store {
                     // Visible in the data memory one cycle after execution.
                     memory.insert((node, j), (time + 2, value));
-                    outputs.entry(node).or_insert_with(Vec::new).push(value);
+                    outputs.entry(node).or_default().push(value);
                 }
             }
         }
@@ -329,8 +335,14 @@ mod tests {
         let golden = interpret(&kernel, &inputs, ITERS);
 
         for (label, result) in [
-            ("baseline", map_baseline(&kernel, &cgra, &MapOptions::default()).unwrap()),
-            ("constrained", map_constrained(&kernel, &cgra, &MapOptions::default()).unwrap()),
+            (
+                "baseline",
+                map_baseline(&kernel, &cgra, &MapOptions::default()).unwrap(),
+            ),
+            (
+                "constrained",
+                map_constrained(&kernel, &cgra, &MapOptions::default()).unwrap(),
+            ),
         ] {
             let sched = MachineSchedule::from_mapping(&result.mapping);
             let out = execute(&result.mdfg, cgra.mesh(), &sched, &inputs, ITERS)
@@ -375,8 +387,7 @@ mod tests {
         for name in ["mpeg2", "laplace", "sor", "compress"] {
             let kernel = cgra_dfg::kernels::by_name(name).unwrap();
             let mapped = map_constrained(&kernel, &cgra, &MapOptions::default()).unwrap();
-            let folded =
-                cgra_core::fold_to_page(&mapped, &cgra, cgra_arch::PageId(0)).unwrap();
+            let folded = cgra_core::fold_to_page(&mapped, &cgra, cgra_arch::PageId(0)).unwrap();
             let inputs = InputStreams::random(&kernel, ITERS, 0xF01D);
             let golden = interpret(&kernel, &inputs, ITERS);
             let sched = MachineSchedule::from_fold(&folded);

@@ -70,7 +70,10 @@ pub fn eval(op: OpKind, inputs: &[Word]) -> Word {
 /// The constant a `Const` node evaluates to: derived from its node index
 /// so distinct constants differ (and misrouted constants are caught).
 pub fn const_value(node_index: usize) -> Word {
-    (node_index as Word).wrapping_mul(2654435761).wrapping_add(17) % 1009
+    (node_index as Word)
+        .wrapping_mul(2654435761)
+        .wrapping_add(17)
+        % 1009
 }
 
 #[cfg(test)]

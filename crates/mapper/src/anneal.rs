@@ -10,9 +10,9 @@
 //! reproduce the paper's remark that annealing-based compilation is far
 //! too slow for runtime use (see `benches/mapper.rs`).
 
+use crate::ems::MapResult;
 use crate::engine::{asap_with_mem, mii_with_mem};
 use crate::error::MapError;
-use crate::ems::MapResult;
 use crate::mapping::{MapMode, Mapping, Placement};
 use crate::mrt::{Mrt, SlotUse};
 use crate::opts::MapOptions;
@@ -67,9 +67,17 @@ fn relaxed_cost(mdfg: &MapDfg, cgra: &CgraConfig, ii: u32, placements: &[Placeme
             bus_count[b] += 1;
         }
     }
-    cost += slot_count.iter().map(|&c| (c.saturating_sub(1)) as u64).sum::<u64>() * 4;
+    cost += slot_count
+        .iter()
+        .map(|&c| (c.saturating_sub(1)) as u64)
+        .sum::<u64>()
+        * 4;
     let cap = cgra.mem().buses_per_row() as u32;
-    cost += bus_count.iter().map(|&c| c.saturating_sub(cap) as u64).sum::<u64>() * 4;
+    cost += bus_count
+        .iter()
+        .map(|&c| c.saturating_sub(cap) as u64)
+        .sum::<u64>()
+        * 4;
 
     // Edge feasibility shortfall.
     for (ei, e) in mdfg.dfg.edges().enumerate() {
@@ -105,7 +113,8 @@ fn routing_pass(
     let mut mrt = Mrt::new(cgra.mesh(), ii, cgra.mem().buses_per_row());
     for (i, p) in placements.iter().enumerate() {
         let op = mdfg.dfg.node(cgra_dfg::NodeId(i as u32)).op;
-        if !mrt.pe_free(p.pe, p.time as u64) || (op.is_mem() && !mrt.bus_free(p.pe, p.time as u64)) {
+        if !mrt.pe_free(p.pe, p.time as u64) || (op.is_mem() && !mrt.bus_free(p.pe, p.time as u64))
+        {
             return None;
         }
         mrt.reserve(p.pe, p.time as u64, SlotUse::Compute(i as u32), op.is_mem());
@@ -236,8 +245,13 @@ mod tests {
     fn anneal_maps_mpeg2_and_validates() {
         let cgra = CgraConfig::square(4);
         let kernel = cgra_dfg::kernels::mpeg2();
-        let r = map_anneal(&kernel, &cgra, &MapOptions::default(), &AnnealOptions::default())
-            .expect("anneal maps mpeg2");
+        let r = map_anneal(
+            &kernel,
+            &cgra,
+            &MapOptions::default(),
+            &AnnealOptions::default(),
+        )
+        .expect("anneal maps mpeg2");
         let v = validate_mapping(&r.mdfg, &cgra, &r.mapping, MapMode::Baseline);
         assert!(v.is_empty(), "{v:?}");
     }
@@ -246,8 +260,13 @@ mod tests {
     fn anneal_respects_mii() {
         let cgra = CgraConfig::square(4);
         let kernel = cgra_dfg::kernels::sor();
-        let r = map_anneal(&kernel, &cgra, &MapOptions::default(), &AnnealOptions::default())
-            .expect("anneal maps sor");
+        let r = map_anneal(
+            &kernel,
+            &cgra,
+            &MapOptions::default(),
+            &AnnealOptions::default(),
+        )
+        .expect("anneal maps sor");
         assert!(r.ii() >= 4); // sor's RecMII
     }
 }

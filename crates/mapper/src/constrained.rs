@@ -14,10 +14,10 @@
 //!    across iterations would pin them to a physical page); further
 //!    spills are chosen adaptively from routing-failure statistics.
 
+use crate::ems::MapResult;
 use crate::engine::{schedule, FailureStats};
 use crate::error::MapError;
 use crate::mapping::MapMode;
-use crate::ems::MapResult;
 use crate::opts::MapOptions;
 use crate::spill::MapDfg;
 use cgra_arch::CgraConfig;
@@ -82,7 +82,13 @@ pub fn map_constrained_strict(
     cgra: &CgraConfig,
     opts: &MapOptions,
 ) -> Result<MapResult, MapError> {
-    map_with_mode(dfg, cgra, opts, MapMode::ConstrainedStrict, pre_spill_set(dfg))
+    map_with_mode(
+        dfg,
+        cgra,
+        opts,
+        MapMode::ConstrainedStrict,
+        pre_spill_set(dfg),
+    )
 }
 
 fn map_with_mode(

@@ -30,7 +30,11 @@ impl MapResult {
 }
 
 /// Map a kernel with the conventional (unconstrained) discipline.
-pub fn map_baseline(dfg: &Dfg, cgra: &CgraConfig, opts: &MapOptions) -> Result<MapResult, MapError> {
+pub fn map_baseline(
+    dfg: &Dfg,
+    cgra: &CgraConfig,
+    opts: &MapOptions,
+) -> Result<MapResult, MapError> {
     let mdfg = MapDfg::unspilled(dfg);
     let out = schedule(&mdfg, cgra, MapMode::Baseline, opts);
     out.mapping.map(|mapping| MapResult {

@@ -123,7 +123,13 @@ struct Attempt<'a> {
 }
 
 impl<'a> Attempt<'a> {
-    fn new(mdfg: &'a MapDfg, cgra: &'a CgraConfig, mode: MapMode, ii: u32, opts: &'a MapOptions) -> Self {
+    fn new(
+        mdfg: &'a MapDfg,
+        cgra: &'a CgraConfig,
+        mode: MapMode,
+        ii: u32,
+        opts: &'a MapOptions,
+    ) -> Self {
         let scc_of = if mode.ring_constrained() {
             routable_scc_of(mdfg)
         } else {
@@ -278,8 +284,12 @@ impl<'a> Attempt<'a> {
         if op.is_mem() && !self.mrt.bus_free(cand.pe, cand.time as u64) {
             return false;
         }
-        self.mrt
-            .reserve(cand.pe, cand.time as u64, SlotUse::Compute(v.0), op.is_mem());
+        self.mrt.reserve(
+            cand.pe,
+            cand.time as u64,
+            SlotUse::Compute(v.0),
+            op.is_mem(),
+        );
 
         let mut committed_edges: Vec<(usize, Vec<RouteHop>)> = Vec::new();
         let rollback = |attempt: &mut Self, committed: &[(usize, Vec<RouteHop>)]| {
@@ -291,9 +301,12 @@ impl<'a> Attempt<'a> {
                 }
                 attempt.routes[*ei] = None;
             }
-            attempt
-                .mrt
-                .release(cand.pe, cand.time as u64, SlotUse::Compute(v.0), op.is_mem());
+            attempt.mrt.release(
+                cand.pe,
+                cand.time as u64,
+                SlotUse::Compute(v.0),
+                op.is_mem(),
+            );
         };
 
         // Collect incident edges whose counterpart is already placed.
@@ -424,7 +437,9 @@ impl<'a> Attempt<'a> {
         for e in dfg.pred_edges(v) {
             let edge = dfg.edge(e);
             if let Some(pu) = self.placed[edge.src.index()] {
-                lo = lo.max(pu.time as i64 + edge_latency(self.mdfg, e.index()) - ii * edge.distance as i64);
+                lo = lo.max(
+                    pu.time as i64 + edge_latency(self.mdfg, e.index()) - ii * edge.distance as i64,
+                );
             }
         }
         for e in dfg.succ_edges(v) {
@@ -433,7 +448,9 @@ impl<'a> Attempt<'a> {
                 continue;
             }
             if let Some(pw) = self.placed[edge.dst.index()] {
-                hi = hi.min(pw.time as i64 - edge_latency(self.mdfg, e.index()) + ii * edge.distance as i64);
+                hi = hi.min(
+                    pw.time as i64 - edge_latency(self.mdfg, e.index()) + ii * edge.distance as i64,
+                );
             }
         }
         lo = lo.max(0);
@@ -503,10 +520,7 @@ impl<'a> Attempt<'a> {
         candidates.sort_unstable();
 
         for &(_, pe, t) in &candidates {
-            let cand = Placement {
-                pe,
-                time: t as u32,
-            };
+            let cand = Placement { pe, time: t as u32 };
             if self.try_commit(v, cand) {
                 if self.mode.ring_constrained() {
                     self.scc_page[self.scc_of[v.index()]] = Some(layout.page_of(pe).0);
@@ -529,7 +543,12 @@ pub struct ScheduleOutcome {
 
 /// Search for a modulo schedule of `mdfg` on `cgra` under `mode`, between
 /// the MII and `mii + opts.max_ii_slack`.
-pub fn schedule(mdfg: &MapDfg, cgra: &CgraConfig, mode: MapMode, opts: &MapOptions) -> ScheduleOutcome {
+pub fn schedule(
+    mdfg: &MapDfg,
+    cgra: &CgraConfig,
+    mode: MapMode,
+    opts: &MapOptions,
+) -> ScheduleOutcome {
     schedule_from(mdfg, cgra, mode, opts, None)
 }
 
@@ -556,9 +575,7 @@ pub fn schedule_from(
         };
         // Height-first order (ties by ASAP then id), jittered per restart.
         for restart in 0..opts.restarts {
-            let mut rng = StdRng::seed_from_u64(
-                opts.seed ^ (ii as u64) << 32 ^ restart as u64,
-            );
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ (ii as u64) << 32 ^ restart as u64);
             let mut order: Vec<NodeId> = mdfg.dfg.node_ids().collect();
             let jitter: Vec<u32> = order
                 .iter()

@@ -526,7 +526,9 @@ mod tests {
         // u and w both on PE0 at congruent times (0 and 2, II=2).
         let mapping = place(&[(0, 0), (0, 2), (1, 3)], 2, 2);
         let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Baseline);
-        assert!(v.iter().any(|x| matches!(x, Violation::SlotConflict { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::SlotConflict { .. })));
     }
 
     #[test]
@@ -613,7 +615,8 @@ mod tests {
         let mapping = place(&[(2, 0), (1, 1)], 2, 1);
         let v = validate_mapping(&m, &c, &mapping, MapMode::Constrained);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::RingViolation { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::RingViolation { .. })),
             "{v:?}"
         );
         // Baseline does not care.
@@ -629,7 +632,9 @@ mod tests {
         let m = two_op_kernel();
         let mapping = place(&[(8, 0), (4, 1)], 2, 1);
         let v = validate_mapping(&m, &cgra(), &mapping, MapMode::Constrained);
-        assert!(v.iter().any(|x| matches!(x, Violation::RingViolation { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::RingViolation { .. })));
     }
 
     #[test]
@@ -647,11 +652,26 @@ mod tests {
         let mapping = Mapping {
             ii: 8,
             placements: vec![
-                Placement { pe: PeId(0), time: 0 },  // ld
-                Placement { pe: PeId(10), time: 5 }, // add
-                Placement { pe: PeId(11), time: 6 }, // st
-                Placement { pe: PeId(1), time: 1 },  // spill_st
-                Placement { pe: PeId(9), time: 4 },  // spill_ld (adj to 10? 9 and 10 adjacent yes)
+                Placement {
+                    pe: PeId(0),
+                    time: 0,
+                }, // ld
+                Placement {
+                    pe: PeId(10),
+                    time: 5,
+                }, // add
+                Placement {
+                    pe: PeId(11),
+                    time: 6,
+                }, // st
+                Placement {
+                    pe: PeId(1),
+                    time: 1,
+                }, // spill_st
+                Placement {
+                    pe: PeId(9),
+                    time: 4,
+                }, // spill_ld (adj to 10? 9 and 10 adjacent yes)
             ],
             routes: vec![Vec::new(); 4],
         };
@@ -662,7 +682,10 @@ mod tests {
         bad.placements[1].time = 3;
         bad.placements[2].time = 4;
         let v = validate_mapping(&m, &cgra(), &bad, MapMode::Baseline);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadEdge { .. })), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::BadEdge { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -677,6 +700,9 @@ mod tests {
         let c = cgra().with_rf_size(1);
         let mapping = place(&[(0, 0), (1, 9), (4, 9)], 2, 2);
         let v = validate_mapping(&m, &c, &mapping, MapMode::Baseline);
-        assert!(v.iter().any(|x| matches!(x, Violation::RfOverflow { .. })), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::RfOverflow { .. })),
+            "{v:?}"
+        );
     }
 }

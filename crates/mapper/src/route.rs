@@ -94,14 +94,17 @@ fn bfs_route(
             && (pe == req.to_pe || mesh.adjacent(pe, req.to_pe))
             && ring_ok(ring, pe, req.to_pe)
     };
-    if direct_from(req.from_pe, req.avail)
-        || extra_sites.iter().any(|&(pe, a)| direct_from(pe, a))
+    if direct_from(req.from_pe, req.avail) || extra_sites.iter().any(|&(pe, a)| direct_from(pe, a))
     {
         return Some(RoutePlan::Direct);
     }
-    let start = req
-        .avail
-        .min(extra_sites.iter().map(|&(_, a)| a).min().unwrap_or(req.avail));
+    let start = req.avail.min(
+        extra_sites
+            .iter()
+            .map(|&(_, a)| a)
+            .min()
+            .unwrap_or(req.avail),
+    );
     let window = (req.deadline - start) as usize + 1;
     let n = mesh.num_pes();
     let idx = |pe: PeId, t: u32| (t - start) as usize * n + pe.index();
@@ -296,7 +299,7 @@ mod tests {
                 to_pe: PeId(1),
                 deadline: 5,
             },
-        &[],
+            &[],
         );
         assert_eq!(plan, Some(RoutePlan::Direct));
     }
@@ -315,7 +318,7 @@ mod tests {
                 to_pe: PeId(2),
                 deadline: 3,
             },
-        &[],
+            &[],
         )
         .expect("routable");
         assert_eq!(plan.hops().len(), 1);
@@ -335,7 +338,7 @@ mod tests {
                 to_pe: PeId(15),
                 deadline: 2,
             },
-        &[],
+            &[],
         );
         assert!(plan.is_none());
     }
@@ -352,7 +355,7 @@ mod tests {
                 to_pe: PeId(15),
                 deadline: 8,
             },
-        &[],
+            &[],
         )
         .expect("routable");
         // Manhattan distance 6; consumer reads across last link: 5 hops.
@@ -373,7 +376,7 @@ mod tests {
                 to_pe: PeId(2),
                 deadline: 9,
             },
-        &[],
+            &[],
         )
         .expect("routable around blockage");
         assert_eq!(plan.hops().len(), 3);
@@ -395,7 +398,7 @@ mod tests {
                 deadline: 12,
             },
             8,
-        &[],
+            &[],
         );
         assert!(plan.is_none());
         // Forward: PE1 (page 0) -> PE2 (page 1) is direct.
@@ -410,7 +413,7 @@ mod tests {
                 deadline: 3,
             },
             8,
-        &[],
+            &[],
         );
         assert_eq!(plan, Some(RoutePlan::Direct));
     }
@@ -431,7 +434,7 @@ mod tests {
                 deadline: 9,
             },
             8,
-        &[],
+            &[],
         )
         .expect("ring-forward route exists");
         // Never leaves pages 0/1.
@@ -532,7 +535,7 @@ mod tests {
                 to_pe: PeId(10),
                 deadline: 8,
             },
-        &[],
+            &[],
         )
         .expect("routable");
         let hops = plan.hops();

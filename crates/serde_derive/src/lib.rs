@@ -1,0 +1,69 @@
+//! Derive half of the offline serde stand-in (see `crates/serde`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` here emit marker
+//! impls of the shim's empty traits. The macro parses just enough of the
+//! item to recover its name: attributes and visibility are skipped, then
+//! the identifier following `struct` / `enum` / `union` is taken.
+//! Generic types are rejected with a clear error (no derived type in
+//! this workspace is generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `struct`/`enum`/`union` item defines, or an error
+/// message when the item has generics (unsupported by the marker shim).
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    while let Some(tok) = tokens.next() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next(); // pub(crate) etc.
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                let Some(TokenTree::Ident(name)) = tokens.next() else {
+                    return Err("expected a type name after the item keyword".into());
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the offline serde shim cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name.to_string());
+            }
+            _ => {}
+        }
+    }
+    Err("expected a struct, enum or union item".into())
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+/// Emit `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Emit `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

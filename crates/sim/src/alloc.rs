@@ -81,11 +81,7 @@ impl Allocator {
     }
 
     fn chain_above(&self, c: u16) -> Option<u16> {
-        self.chain
-            .iter()
-            .copied()
-            .rev()
-            .find(|&x| x > c)
+        self.chain.iter().copied().rev().find(|&x| x > c)
     }
 
     fn chain_below(&self, c: u16) -> Option<u16> {

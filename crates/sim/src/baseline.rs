@@ -80,11 +80,8 @@ mod tests {
     use cgra_mapper::MapOptions;
 
     fn lib() -> KernelLibrary {
-        KernelLibrary::compile_benchmarks(
-            &cgra_arch::CgraConfig::square(4),
-            &MapOptions::default(),
-        )
-        .expect("library compiles")
+        KernelLibrary::compile_benchmarks(&cgra_arch::CgraConfig::square(4), &MapOptions::default())
+            .expect("library compiles")
     }
 
     #[test]

@@ -68,11 +68,10 @@ impl KernelProfile {
                 // transformation for budgets covering their footprint.
                 cons.ii()
             } else {
-                let plan = transform(&paged, m, Strategy::Auto).map_err(|e| {
-                    MapError::Unmappable {
+                let plan =
+                    transform(&paged, m, Strategy::Auto).map_err(|e| MapError::Unmappable {
                         reason: format!("transform to {m} pages: {e}"),
-                    }
-                })?;
+                    })?;
                 debug_assert!(
                     cgra_core::validate::validate_plan(&paged, &plan).is_empty(),
                     "invalid plan for {} at M={m}",
@@ -168,12 +167,8 @@ mod tests {
     #[test]
     fn profile_compiles_for_mpeg2_on_4x4() {
         let cgra = CgraConfig::square(4);
-        let p = KernelProfile::compile(
-            &cgra_dfg::kernels::mpeg2(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("compiles");
+        let p = KernelProfile::compile(&cgra_dfg::kernels::mpeg2(), &cgra, &MapOptions::default())
+            .expect("compiles");
         assert!(p.ii_constrained >= p.ii_baseline);
         assert!(p.used_pages >= 1 && p.used_pages <= 4);
         // Rates weakly degrade as pages shrink.
@@ -189,12 +184,8 @@ mod tests {
     #[test]
     fn wanted_pages_covers_footprint() {
         let cgra = CgraConfig::square(4);
-        let p = KernelProfile::compile(
-            &cgra_dfg::kernels::sor(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("compiles");
+        let p = KernelProfile::compile(&cgra_dfg::kernels::sor(), &cgra, &MapOptions::default())
+            .expect("compiles");
         let want = p.wanted_pages(4);
         assert!(want >= p.used_pages);
         assert!(halving_chain(4).contains(&want));
@@ -204,12 +195,9 @@ mod tests {
     #[should_panic(expected = "no transform cached")]
     fn ii_at_off_chain_panics() {
         let cgra = CgraConfig::square(4);
-        let p = KernelProfile::compile(
-            &cgra_dfg::kernels::laplace(),
-            &cgra,
-            &MapOptions::default(),
-        )
-        .expect("compiles");
+        let p =
+            KernelProfile::compile(&cgra_dfg::kernels::laplace(), &cgra, &MapOptions::default())
+                .expect("compiles");
         p.ii_at(3);
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod alloc;
 pub mod baseline;
+pub mod entry;
 pub mod event;
 pub mod kernel_lib;
 pub mod multithreaded;
@@ -27,6 +28,7 @@ pub mod workload;
 
 pub use alloc::{Allocator, ExpandPolicy, RequestOutcome};
 pub use baseline::simulate_baseline;
+pub use entry::{simulate_point, PointReport};
 pub use kernel_lib::{halving_chain, KernelLibrary, KernelProfile};
 pub use multithreaded::{simulate_multithreaded, MtConfig};
 pub use stats::{improvement_percent, SimReport};

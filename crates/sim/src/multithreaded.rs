@@ -48,7 +48,11 @@ enum Mode {
         since: u64,
     },
     /// Stalled in the CGRA queue.
-    Waiting { kernel: usize, iterations: u64, enqueued: u64 },
+    Waiting {
+        kernel: usize,
+        iterations: u64,
+        enqueued: u64,
+    },
     Done,
 }
 
@@ -108,7 +112,7 @@ impl<'a> Sim<'a> {
             since
         } else {
             let elapsed = now - since;
-            if elapsed % rate == 0 {
+            if elapsed.is_multiple_of(rate) {
                 now
             } else {
                 since + (elapsed / rate + 1) * rate
@@ -139,7 +143,14 @@ impl<'a> Sim<'a> {
     }
 
     /// Put a thread onto the CGRA with `pages`.
-    fn start_kernel(&mut self, thread: usize, kernel: usize, iterations: u64, now: u64, pages: u16) {
+    fn start_kernel(
+        &mut self,
+        thread: usize,
+        kernel: usize,
+        iterations: u64,
+        now: u64,
+        pages: u16,
+    ) {
         let rate = self.lib.profile(kernel).ii_at(pages) as u64;
         let since = now + self.cfg.switch_overhead;
         self.mode[thread] = Mode::OnCgra {

@@ -176,11 +176,8 @@ mod tests {
     use cgra_mapper::MapOptions;
 
     fn lib() -> KernelLibrary {
-        KernelLibrary::compile_benchmarks(
-            &cgra_arch::CgraConfig::square(4),
-            &MapOptions::default(),
-        )
-        .expect("library compiles")
+        KernelLibrary::compile_benchmarks(&cgra_arch::CgraConfig::square(4), &MapOptions::default())
+            .expect("library compiles")
     }
 
     #[test]
@@ -242,10 +239,7 @@ mod tests {
         let threads = generate(&lib, &WorkloadParams::default());
         for t in &threads {
             assert!(!t.segments.is_empty());
-            assert!(t
-                .segments
-                .iter()
-                .any(|s| matches!(s, Segment::Cgra { .. })));
+            assert!(t.segments.iter().any(|s| matches!(s, Segment::Cgra { .. })));
             for s in &t.segments {
                 match s {
                     Segment::Cpu(c) => assert!(*c > 0),

@@ -11,7 +11,10 @@ fn main() {
     let cgra = CgraConfig::square(4);
     let kernel = cgra_mt::dfg::kernels::fig2_kernel();
 
-    println!("--- DFG (Graphviz) ---\n{}", cgra_mt::dfg::dot::to_dot(&kernel));
+    println!(
+        "--- DFG (Graphviz) ---\n{}",
+        cgra_mt::dfg::dot::to_dot(&kernel)
+    );
 
     let mapped = map_baseline(&kernel, &cgra, &MapOptions::default()).expect("maps");
     println!(

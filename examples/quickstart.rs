@@ -57,8 +57,12 @@ fn main() {
         paged.cells.iter().filter(|c| !c.is_empty()).count()
     );
     for m in [2u16, 1] {
-        let plan = transform(&paged.trimmed(), m.min(paged.trimmed().num_pages), Strategy::Auto)
-            .expect("transform");
+        let plan = transform(
+            &paged.trimmed(),
+            m.min(paged.trimmed().num_pages),
+            Strategy::Auto,
+        )
+        .expect("transform");
         let violations = validate_plan(&paged.trimmed(), &plan);
         assert!(violations.is_empty(), "{violations:?}");
         println!(

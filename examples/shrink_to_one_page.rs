@@ -51,7 +51,10 @@ fn main() {
             .iter()
             .map(|(node, pos)| format!("n{node}@{pos}"))
             .collect();
-        println!("source page {page} -> folded positions: {}", cells.join(" "));
+        println!(
+            "source page {page} -> folded positions: {}",
+            cells.join(" ")
+        );
     }
 
     // Timing of the first iteration: pages execute in dependence order.

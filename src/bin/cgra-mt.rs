@@ -32,9 +32,8 @@ impl Args {
                     .peek()
                     .filter(|v| !v.starts_with("--"))
                     .cloned()
-                    .map(|v| {
+                    .inspect(|_v| {
                         it.next();
-                        v
                     })
                     .unwrap_or_else(|| "true".into());
                 flags.insert(key.to_string(), value);
@@ -53,7 +52,10 @@ impl Args {
     }
 
     fn str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.into())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.into())
     }
 }
 
@@ -96,10 +98,23 @@ fn main() {
         "analyze" => {
             let dfg = load(&args);
             let cgra = fabric(&args);
-            println!("kernel '{}': {} ops, {} edges, {} memory ops", dfg.name, dfg.num_nodes(), dfg.num_edges(), dfg.num_mem_ops());
+            println!(
+                "kernel '{}': {} ops, {} edges, {} memory ops",
+                dfg.name,
+                dfg.num_nodes(),
+                dfg.num_edges(),
+                dfg.num_mem_ops()
+            );
             println!("RecMII        = {}", cgra_mt::dfg::rec_mii(&dfg));
-            println!("ResMII        = {} ({} PEs)", cgra_mt::dfg::res_mii(&dfg, cgra.num_pes()), cgra.num_pes());
-            println!("MII           = {}", cgra_mt::dfg::mii(&dfg, cgra.num_pes()));
+            println!(
+                "ResMII        = {} ({} PEs)",
+                cgra_mt::dfg::res_mii(&dfg, cgra.num_pes()),
+                cgra.num_pes()
+            );
+            println!(
+                "MII           = {}",
+                cgra_mt::dfg::mii(&dfg, cgra.num_pes())
+            );
             println!("recurrent     = {}", dfg.has_recurrence());
         }
         "dot" => {

@@ -89,8 +89,7 @@ pub fn parse(text: &str) -> Result<Dfg, ParseError> {
                 let op_s = parts
                     .next()
                     .ok_or_else(|| err(line, format!("node {id} needs an op")))?;
-                let op = parse_op(op_s)
-                    .ok_or_else(|| err(line, format!("unknown op '{op_s}'")))?;
+                let op = parse_op(op_s).ok_or_else(|| err(line, format!("unknown op '{op_s}'")))?;
                 if ids.contains_key(id) {
                     return Err(err(line, format!("duplicate node '{id}'")));
                 }
@@ -184,7 +183,8 @@ carried acc acc 1
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let dfg = parse("# hi\n\nkernel t\nnode x load # inline\nnode y store\nedge x y\n").unwrap();
+        let dfg =
+            parse("# hi\n\nkernel t\nnode x load # inline\nnode y store\nedge x y\n").unwrap();
         assert_eq!(dfg.num_nodes(), 2);
     }
 

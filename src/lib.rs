@@ -58,6 +58,7 @@ pub mod prelude {
         PagedSchedule, ShrinkPlan,
     };
     pub use cgra_dfg::{Dfg, DfgBuilder, OpKind};
+    pub use cgra_exec::{execute, interpret, InputStreams, MachineSchedule};
     pub use cgra_mapper::{
         map_anneal, map_baseline, map_constrained, map_constrained_strict, validate_mapping,
         MapMode, MapOptions, MapResult,
@@ -66,5 +67,4 @@ pub mod prelude {
         generate, improvement_percent, simulate_baseline, simulate_multithreaded, CgraNeed,
         KernelLibrary, MtConfig, WorkloadParams,
     };
-    pub use cgra_exec::{execute, interpret, InputStreams, MachineSchedule};
 }

@@ -46,7 +46,10 @@ fn fig9_improvement_grows_with_array_size() {
     let i4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &p).improvement_pct;
     let i6 = run_point(&cache, 6, 4, CgraNeed::High, 16, &p).improvement_pct;
     let i8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &p).improvement_pct;
-    assert!(i4 < i6 && i6 < i8, "not monotone: {i4:.0}% {i6:.0}% {i8:.0}%");
+    assert!(
+        i4 < i6 && i6 < i8,
+        "not monotone: {i4:.0}% {i6:.0}% {i8:.0}%"
+    );
     assert!(i8 > 100.0, "8x8 at 16 threads only {i8:.0}%");
 }
 

@@ -1,0 +1,136 @@
+//! Differential tests for the sweep engine's determinism contract: a
+//! reduced Fig. 8 / Fig. 9 grid run with `jobs = 1` must produce
+//! **byte-identical** reports to the same grid run with `jobs = 4`, with
+//! the mapping cache enabled and disabled. `jobs = 1` is the pure-serial
+//! reference path (no threads, no locks), so any divergence pins the
+//! blame on scheduling- or cache-dependent state.
+
+use cgra_bench::engine::Engine;
+use cgra_bench::fig8;
+use cgra_bench::fig9::{self, Fig9Params, Fig9Point};
+use cgra_bench::libcache::LibCache;
+use cgra_bench::mapcache::MapCache;
+use cgra_sim::{CgraNeed, MtConfig};
+
+/// The reduced Fig. 8 grid: two page sizes on the 4x4.
+fn fig8_reduced(engine: &Engine, cache: &MapCache) -> Vec<fig8::Fig8Point> {
+    let mut points = fig8_config(engine, cache, 4, 2);
+    points.extend(fig8_config(engine, cache, 4, 8));
+    points
+}
+
+fn fig8_config(engine: &Engine, cache: &MapCache, dim: u16, page: usize) -> Vec<fig8::Fig8Point> {
+    fig8::run_config_with(engine, cache, dim, page)
+}
+
+fn quick_params() -> Fig9Params {
+    Fig9Params {
+        seeds: 2,
+        work_per_thread: 20_000,
+        bursts: 2,
+        mt: MtConfig::default(),
+    }
+}
+
+/// The reduced Fig. 9 grid: 4x4 fabric, two page sizes, all needs, three
+/// thread counts — driven through the engine like the real sweep.
+fn fig9_reduced(engine: &Engine, cache: &LibCache) -> Vec<Fig9Point> {
+    let params = quick_params();
+    let mut points: Vec<(u16, usize, CgraNeed, usize)> = Vec::new();
+    for &s in &[2usize, 4] {
+        for need in CgraNeed::ALL {
+            for &t in &[1usize, 4, 16] {
+                points.push((4, s, need, t));
+            }
+        }
+    }
+    engine.run(&points, |&(dim, s, need, t)| {
+        fig9::run_point(cache, dim, s, need, t, &params)
+    })
+}
+
+#[test]
+fn fig8_is_byte_identical_across_jobs_and_cache_modes() {
+    let reference = fig8_reduced(&Engine::with_jobs(1), &MapCache::in_memory());
+    let reference_render = fig8::render(&reference, 4);
+    let reference_summary = format!("{:?}", fig8::summary(&reference));
+
+    for jobs in [1usize, 4] {
+        for cached in [true, false] {
+            let cache = if cached {
+                MapCache::in_memory()
+            } else {
+                MapCache::disabled()
+            };
+            let got = fig8_reduced(&Engine::with_jobs(jobs), &cache);
+            assert_eq!(
+                got, reference,
+                "fig8 points diverge at jobs={jobs} cached={cached}"
+            );
+            assert_eq!(
+                fig8::render(&got, 4),
+                reference_render,
+                "fig8 rendered table diverges at jobs={jobs} cached={cached}"
+            );
+            assert_eq!(
+                format!("{:?}", fig8::summary(&got)),
+                reference_summary,
+                "fig8 summary diverges at jobs={jobs} cached={cached}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_is_byte_identical_across_jobs_and_cache_modes() {
+    let reference = fig9_reduced(&Engine::with_jobs(1), &LibCache::new());
+    let reference_render = fig9::render(&reference, 4);
+
+    for jobs in [1usize, 4] {
+        for cached in [true, false] {
+            let cache = if cached {
+                LibCache::new()
+            } else {
+                LibCache::over(MapCache::disabled())
+            };
+            let got = fig9_reduced(&Engine::with_jobs(jobs), &cache);
+            // Fig9Point holds f64 means; PartialEq equality here really is
+            // bit-level, which is exactly the contract under test.
+            assert_eq!(
+                got, reference,
+                "fig9 points diverge at jobs={jobs} cached={cached}"
+            );
+            assert_eq!(
+                fig9::render(&got, 4),
+                reference_render,
+                "fig9 rendered table diverges at jobs={jobs} cached={cached}"
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_cache_round_trip_is_also_identical() {
+    // A profile loaded back from target/mapcache JSON must reproduce the
+    // freshly computed report bytes too.
+    let dir = std::env::temp_dir().join(format!("mapcache-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reference = fig8_reduced(&Engine::with_jobs(1), &MapCache::in_memory());
+
+    let writer = MapCache::persistent_at(&dir);
+    let first = fig8_reduced(&Engine::with_jobs(4), &writer);
+    assert_eq!(first, reference);
+
+    // A fresh cache over the same directory serves from disk.
+    let reader = MapCache::persistent_at(&dir);
+    let second = fig8_reduced(&Engine::with_jobs(4), &reader);
+    assert_eq!(second, reference, "disk-loaded profiles diverge");
+    assert!(
+        reader.stats().disk_hits > 0,
+        "expected disk hits, got {:?}",
+        reader.stats()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,8 +29,7 @@ fn full_pipeline_every_kernel_on_4x4() {
             let occupied = paged.cells.iter().filter(|c| !c.is_empty()).count() as f64;
             assert!(plan.ii_q() + 1e-9 >= occupied / m as f64);
             assert!(
-                plan.ii_q()
-                    <= (paged.ii * paged.num_pages.div_ceil(m) as u32) as f64 + 1e-9,
+                plan.ii_q() <= (paged.ii * paged.num_pages.div_ceil(m) as u32) as f64 + 1e-9,
                 "{} M={m}: ii_q {} above block bound",
                 kernel.name,
                 plan.ii_q()
@@ -50,7 +49,9 @@ fn shrink_then_expand_recovers_full_rate() {
     let cgra = CgraConfig::square(4);
     let kernel = cgra_mt::dfg::kernels::laplace();
     let mapped = map_constrained(&kernel, &cgra, &MapOptions::default()).unwrap();
-    let paged = PagedSchedule::from_mapping(&mapped, &cgra).unwrap().trimmed();
+    let paged = PagedSchedule::from_mapping(&mapped, &cgra)
+        .unwrap()
+        .trimmed();
     let n = paged.num_pages;
     let shrunk = transform(&paged, 1.max(n / 2), Strategy::Auto).unwrap();
     assert!(shrunk.ii_q() >= mapped.ii() as f64);
@@ -82,13 +83,14 @@ fn extra_kernels_survive_the_full_pipeline() {
         let mapped = map_constrained(&kernel, &cgra, &opts)
             .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         assert!(
-            validate_mapping(&mapped.mdfg, &cgra, &mapped.mapping, MapMode::Constrained)
-                .is_empty(),
+            validate_mapping(&mapped.mdfg, &cgra, &mapped.mapping, MapMode::Constrained).is_empty(),
             "{}",
             kernel.name
         );
         // Shrink.
-        let paged = PagedSchedule::from_mapping(&mapped, &cgra).unwrap().trimmed();
+        let paged = PagedSchedule::from_mapping(&mapped, &cgra)
+            .unwrap()
+            .trimmed();
         let plan = transform(&paged, 1, Strategy::Auto).unwrap();
         assert!(validate_plan(&paged, &plan).is_empty(), "{}", kernel.name);
         // Execute functionally.
@@ -106,13 +108,9 @@ fn extra_kernels_survive_the_full_pipeline() {
             assert_eq!(out.get(store), Some(values), "{}: n{store}", kernel.name);
         }
         // Encode to a configuration image and back.
-        let image = cgra_mt::mapper::encode_config(
-            &mapped.mdfg,
-            cgra.mesh(),
-            &mapped.mapping,
-            mapped.mode,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let image =
+            cgra_mt::mapper::encode_config(&mapped.mdfg, cgra.mesh(), &mapped.mapping, mapped.mode)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         assert!(image.occupancy() > 0.0);
     }
 }

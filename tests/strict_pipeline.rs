@@ -26,7 +26,9 @@ fn strict_mappings_feed_algorithm_one() {
         );
         assert!(v.is_empty(), "{}: {v:?}", kernel.name);
 
-        let paged = PagedSchedule::from_mapping(&mapped, &cgra).unwrap().trimmed();
+        let paged = PagedSchedule::from_mapping(&mapped, &cgra)
+            .unwrap()
+            .trimmed();
         assert_eq!(
             paged.discipline,
             cgra_mt::core::Discipline::Canonical,
@@ -53,8 +55,8 @@ fn strict_schedules_execute_correctly() {
     let iters = 8;
     for name in ["mpeg2", "sor", "laplace", "compress", "fir"] {
         let kernel = cgra_mt::dfg::kernels::by_name(name).unwrap();
-        let mapped = map_constrained_strict(&kernel, &cgra, &opts)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mapped =
+            map_constrained_strict(&kernel, &cgra, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         let inputs = InputStreams::random(&kernel, iters, 0x57);
         let golden = interpret(&kernel, &inputs, iters);
         let sched = MachineSchedule::from_mapping(&mapped.mapping);
