@@ -1,0 +1,615 @@
+//! Fault model over the page grid.
+//!
+//! The paper's core argument (§VI–VII) is that page-level virtualization
+//! lets a thread keep making progress as resources are taken away from
+//! it. A faulty PE or page is just another way resources disappear at
+//! runtime: a [`FaultMap`] records which pages of a fabric are healthy,
+//! degraded (usable at reduced rate) or dead (unusable), and
+//! [`FaultSpec`] describes *when* faults strike — a targeted page at a
+//! fixed time, or MTBF-style random arrivals from a deterministic seeded
+//! stream.
+//!
+//! The map composes with the existing page geometry: PE-level faults are
+//! folded onto their containing page via [`PageLayout::page_of`], and the
+//! intra-page coordinates of faulty PEs transform under the D4 subgroup
+//! in [`Orientation`] exactly like relocated page mappings do, so a
+//! runtime that mirrors a page onto a partially-faulty tile can ask where
+//! the faults land in the mirrored frame.
+
+use crate::mirror::Orientation;
+use crate::page::{PageLayout, PageShape};
+use crate::topology::{PeId, Pos};
+use serde::{Deserialize, Serialize};
+
+/// Health of one page of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PageHealth {
+    /// Fully usable.
+    #[default]
+    Healthy,
+    /// Usable, but at a reduced rate (e.g. one PE routed around).
+    Degraded,
+    /// Unusable; no op may be placed on it.
+    Dead,
+}
+
+/// Health of every page in a fabric, in ring order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    shape: PageShape,
+    health: Vec<PageHealth>,
+    /// Intra-page coordinates of faulty PEs, per page (identity frame).
+    faulty_pes: Vec<Vec<Pos>>,
+}
+
+impl FaultMap {
+    /// An all-healthy map over `num_pages` pages of 1×1 shape (the
+    /// page-count-only abstraction the simulator uses).
+    pub fn new(num_pages: u16) -> Self {
+        FaultMap {
+            shape: PageShape::new(1, 1),
+            health: vec![PageHealth::Healthy; num_pages as usize],
+            faulty_pes: vec![Vec::new(); num_pages as usize],
+        }
+    }
+
+    /// An all-healthy map matching a concrete page layout.
+    pub fn for_layout(layout: &PageLayout) -> Self {
+        FaultMap {
+            shape: layout.shape(),
+            health: vec![PageHealth::Healthy; layout.num_pages()],
+            faulty_pes: vec![Vec::new(); layout.num_pages()],
+        }
+    }
+
+    /// A map with the pages containing the given PEs marked per the
+    /// escalation policy of [`FaultMap::mark_pe`].
+    pub fn from_dead_pes(layout: &PageLayout, pes: &[PeId]) -> Self {
+        let mut map = Self::for_layout(layout);
+        for &pe in pes {
+            map.mark_pe(layout, pe);
+        }
+        map
+    }
+
+    /// Number of pages covered.
+    pub fn num_pages(&self) -> u16 {
+        self.health.len() as u16
+    }
+
+    /// The page shape faults are recorded against.
+    pub fn shape(&self) -> PageShape {
+        self.shape
+    }
+
+    /// Health of one page.
+    pub fn health(&self, page: u16) -> PageHealth {
+        self.health[page as usize]
+    }
+
+    /// Whether a page can still execute ops (healthy or degraded).
+    pub fn is_usable(&self, page: u16) -> bool {
+        self.health[page as usize] != PageHealth::Dead
+    }
+
+    /// Set a page's health directly.
+    pub fn mark_page(&mut self, page: u16, health: PageHealth) {
+        self.health[page as usize] = health;
+    }
+
+    /// Record a faulty PE. The containing page becomes [`Degraded`]
+    /// (the mapping can route around one bad PE at reduced rate); once
+    /// more than half the page's PEs are faulty the page is [`Dead`].
+    ///
+    /// [`Degraded`]: PageHealth::Degraded
+    /// [`Dead`]: PageHealth::Dead
+    pub fn mark_pe(&mut self, layout: &PageLayout, pe: PeId) {
+        let page = layout.page_of(pe);
+        let local = layout.intra_pos(pe);
+        let faults = &mut self.faulty_pes[page.index()];
+        if !faults.contains(&local) {
+            faults.push(local);
+        }
+        let health = if faults.len() * 2 > self.shape.size() {
+            PageHealth::Dead
+        } else {
+            PageHealth::Degraded
+        };
+        // Never *improve* a page (a directly-killed page stays dead).
+        if self.health[page.index()] != PageHealth::Dead {
+            self.health[page.index()] = health;
+        }
+    }
+
+    /// Intra-page coordinates of a page's faulty PEs as seen through
+    /// `orient` — where the faults land when the page's mapping is
+    /// mirrored/rotated onto this tile.
+    pub fn faulty_pes(&self, page: u16, orient: Orientation) -> Vec<Pos> {
+        self.faulty_pes[page as usize]
+            .iter()
+            .map(|&p| orient.apply(p, self.shape.h, self.shape.w))
+            .collect()
+    }
+
+    /// Pages that can still execute ops, in ring order.
+    pub fn usable_pages(&self) -> Vec<u16> {
+        (0..self.num_pages())
+            .filter(|&p| self.is_usable(p))
+            .collect()
+    }
+
+    /// Dead pages, in ring order.
+    pub fn dead_pages(&self) -> Vec<u16> {
+        (0..self.num_pages())
+            .filter(|&p| !self.is_usable(p))
+            .collect()
+    }
+
+    /// Degraded pages, in ring order.
+    pub fn degraded_pages(&self) -> Vec<u16> {
+        (0..self.num_pages())
+            .filter(|&p| self.health(p) == PageHealth::Degraded)
+            .collect()
+    }
+
+    /// Number of usable pages.
+    pub fn usable_count(&self) -> u16 {
+        self.usable_pages().len() as u16
+    }
+
+    /// Maximal runs of consecutive *usable* pages in ring order, as
+    /// `(start, len)`. The ring path is what carries inter-page
+    /// dependences (§VI-B.2), so a shrunk schedule must land on one run.
+    pub fn surviving_runs(&self) -> Vec<(u16, u16)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for p in 0..self.num_pages() {
+            match (self.is_usable(p), start) {
+                (true, None) => start = Some(p),
+                (false, Some(s)) => {
+                    runs.push((s, p - s));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, self.num_pages() - s));
+        }
+        runs
+    }
+
+    /// The longest surviving run (ties: earliest start), if any page
+    /// survives at all.
+    pub fn longest_surviving_run(&self) -> Option<(u16, u16)> {
+        self.surviving_runs()
+            .into_iter()
+            .max_by_key(|&(start, len)| (len, std::cmp::Reverse(start)))
+    }
+}
+
+/// What a fault does to its page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The page becomes degraded (usable at reduced rate).
+    Degrade,
+    /// The page dies.
+    Kill,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at which the fault strikes.
+    pub time: u64,
+    /// Ring index of the struck page.
+    pub page: u16,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection schedule description.
+///
+/// Parsed from `--faults <spec>`:
+///
+/// * `off` — no faults (the default; byte-identical to a fault-free run)
+/// * `at=<time>,page=<p>[,degrade]` — targeted: page `p` struck at cycle
+///   `time` (killed unless `degrade` is given)
+/// * `mtbf=<mean>,count=<n>[,seed=<s>][,degrade]` — `n` faults with
+///   exponentially distributed inter-arrival times of mean `mean`
+///   cycles, striking uniformly random pages; fully determined by `s`
+///   (default 0)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FaultSpec {
+    /// No faults.
+    #[default]
+    Off,
+    /// One targeted fault.
+    At {
+        /// Strike cycle.
+        time: u64,
+        /// Struck page.
+        page: u16,
+        /// Effect.
+        kind: FaultKind,
+    },
+    /// MTBF-style random arrivals.
+    Mtbf {
+        /// Mean cycles between faults.
+        mean: u64,
+        /// Number of faults drawn.
+        count: u32,
+        /// Stream seed; the schedule is a pure function of
+        /// `(mean, count, seed, num_pages)`.
+        seed: u64,
+        /// Effect of every fault.
+        kind: FaultKind,
+    },
+}
+
+/// Why a `--faults` spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// SplitMix64 — a tiny deterministic stream, enough for fault arrival
+/// draws (the workload RNG lives in the in-repo `rand` crate; this keeps
+/// `cgra-arch` dependency-free).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultSpec {
+    /// Parse a `--faults` spec string (see the type-level grammar).
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
+        let err = |reason: String| Err(FaultSpecError { reason });
+        let s = s.trim();
+        if s.is_empty() || s == "off" || s == "none" || s == "0" {
+            return Ok(FaultSpec::Off);
+        }
+        let mut time = None;
+        let mut page = None;
+        let mut mean = None;
+        let mut count = None;
+        let mut seed = 0u64;
+        let mut kind = FaultKind::Kill;
+        for part in s.split(',') {
+            let part = part.trim();
+            match part.split_once('=') {
+                Some(("at", v)) => match v.parse() {
+                    Ok(t) => time = Some(t),
+                    Err(_) => return err(format!("at={v}: not a cycle count")),
+                },
+                Some(("page", v)) => match v.parse() {
+                    Ok(p) => page = Some(p),
+                    Err(_) => return err(format!("page={v}: not a page index")),
+                },
+                Some(("mtbf", v)) => match v.parse::<u64>() {
+                    Ok(m) if m > 0 => mean = Some(m),
+                    _ => return err(format!("mtbf={v}: need a positive cycle count")),
+                },
+                Some(("count", v)) => match v.parse() {
+                    Ok(c) => count = Some(c),
+                    Err(_) => return err(format!("count={v}: not a fault count")),
+                },
+                Some(("seed", v)) => match v.parse() {
+                    Ok(x) => seed = x,
+                    Err(_) => return err(format!("seed={v}: not a u64")),
+                },
+                None if part == "degrade" => kind = FaultKind::Degrade,
+                None if part == "kill" => kind = FaultKind::Kill,
+                _ => return err(format!("unknown field {part:?}")),
+            }
+        }
+        match (time, page, mean, count) {
+            (Some(time), Some(page), None, None) => Ok(FaultSpec::At { time, page, kind }),
+            (None, None, Some(mean), Some(count)) => Ok(FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            }),
+            _ => err("expected `off`, `at=<t>,page=<p>[,degrade]`, or \
+                 `mtbf=<mean>,count=<n>[,seed=<s>][,degrade]`"
+                .into()),
+        }
+    }
+
+    /// The concrete event schedule over a fabric of `num_pages` pages,
+    /// sorted by `(time, page)`. Deterministic: a pure function of the
+    /// spec and `num_pages`.
+    pub fn schedule(&self, num_pages: u16) -> Vec<FaultEvent> {
+        match *self {
+            FaultSpec::Off => Vec::new(),
+            FaultSpec::At { time, page, kind } => {
+                if page < num_pages {
+                    vec![FaultEvent { time, page, kind }]
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            } => {
+                if num_pages == 0 {
+                    return Vec::new();
+                }
+                // Domain-separate the stream from other users of the seed.
+                let mut state = seed ^ 0xFA01_7FA0_17FA_017F;
+                let mut t = 0u64;
+                let mut events = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    // Exponential inter-arrival via inverse CDF; the
+                    // uniform comes from the top 53 bits of SplitMix64.
+                    let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    let dt = (-(mean as f64) * (1.0 - u).ln()).ceil().max(1.0);
+                    t = t.saturating_add(dt as u64);
+                    let page = (splitmix64(&mut state) % num_pages as u64) as u16;
+                    events.push(FaultEvent {
+                        time: t,
+                        page,
+                        kind,
+                    });
+                }
+                events.sort_by_key(|e| (e.time, e.page));
+                events
+            }
+        }
+    }
+
+    /// Whether the spec injects anything at all.
+    pub fn is_off(&self) -> bool {
+        matches!(self, FaultSpec::Off)
+    }
+
+    /// The same spec with the fault rate scaled by `factor` (MTBF
+    /// divided): the axis of a throughput-vs-fault-rate degradation
+    /// curve. `Off` and `At` specs are returned unchanged.
+    pub fn scaled(&self, factor: u64) -> FaultSpec {
+        match *self {
+            FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            } => FaultSpec::Mtbf {
+                mean: (mean / factor.max(1)).max(1),
+                count,
+                seed,
+                kind,
+            },
+            other => other,
+        }
+    }
+
+    /// The same spec with its RNG seed mixed with `salt` (MTBF specs
+    /// only; deterministic schedules pass through). Sweep drivers use
+    /// this to give every point an independent but reproducible fault
+    /// timeline derived from the point's coordinates.
+    pub fn reseeded(&self, salt: u64) -> FaultSpec {
+        match *self {
+            FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            } => FaultSpec::Mtbf {
+                mean,
+                count,
+                seed: seed ^ salt,
+                kind,
+            },
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::Off => write!(f, "off"),
+            FaultSpec::At { time, page, kind } => {
+                write!(f, "at={time},page={page}")?;
+                if *kind == FaultKind::Degrade {
+                    write!(f, ",degrade")?;
+                }
+                Ok(())
+            }
+            FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            } => {
+                write!(f, "mtbf={mean},count={count},seed={seed}")?;
+                if *kind == FaultKind::Degrade {
+                    write!(f, ",degrade")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh;
+
+    #[test]
+    fn fresh_map_is_all_healthy() {
+        let m = FaultMap::new(8);
+        assert_eq!(m.usable_count(), 8);
+        assert!(m.dead_pages().is_empty());
+        assert_eq!(m.surviving_runs(), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn killing_a_page_splits_the_ring() {
+        let mut m = FaultMap::new(8);
+        m.mark_page(3, PageHealth::Dead);
+        assert_eq!(m.surviving_runs(), vec![(0, 3), (4, 4)]);
+        assert_eq!(m.longest_surviving_run(), Some((4, 4)));
+        assert_eq!(m.dead_pages(), vec![3]);
+        assert_eq!(m.usable_count(), 7);
+    }
+
+    #[test]
+    fn tie_between_runs_prefers_earliest() {
+        let mut m = FaultMap::new(7);
+        m.mark_page(3, PageHealth::Dead);
+        assert_eq!(m.longest_surviving_run(), Some((0, 3)));
+    }
+
+    #[test]
+    fn all_dead_has_no_run() {
+        let mut m = FaultMap::new(2);
+        m.mark_page(0, PageHealth::Dead);
+        m.mark_page(1, PageHealth::Dead);
+        assert_eq!(m.longest_surviving_run(), None);
+    }
+
+    #[test]
+    fn degraded_pages_stay_usable() {
+        let mut m = FaultMap::new(4);
+        m.mark_page(1, PageHealth::Degraded);
+        assert_eq!(m.surviving_runs(), vec![(0, 4)]);
+        assert_eq!(m.degraded_pages(), vec![1]);
+    }
+
+    #[test]
+    fn pe_faults_escalate_by_majority() {
+        let layout = PageLayout::for_size(Mesh::new(4, 4), 4).unwrap();
+        let mut m = FaultMap::for_layout(&layout);
+        // Page 0 is the TL 2x2 quadrant: PEs at (0,0),(0,1),(1,0),(1,1).
+        let mesh = layout.mesh();
+        m.mark_pe(&layout, mesh.pe(Pos::new(0, 0)));
+        assert_eq!(m.health(0), PageHealth::Degraded);
+        m.mark_pe(&layout, mesh.pe(Pos::new(0, 1)));
+        assert_eq!(m.health(0), PageHealth::Degraded); // 2 of 4: not a majority
+        m.mark_pe(&layout, mesh.pe(Pos::new(1, 0)));
+        assert_eq!(m.health(0), PageHealth::Dead); // 3 of 4
+                                                   // Other pages untouched.
+        assert_eq!(m.health(1), PageHealth::Healthy);
+    }
+
+    #[test]
+    fn duplicate_pe_fault_is_idempotent() {
+        let layout = PageLayout::for_size(Mesh::new(4, 4), 4).unwrap();
+        let mut m = FaultMap::for_layout(&layout);
+        let pe = layout.mesh().pe(Pos::new(0, 0));
+        m.mark_pe(&layout, pe);
+        m.mark_pe(&layout, pe);
+        assert_eq!(m.faulty_pes(0, Orientation::Identity).len(), 1);
+        assert_eq!(m.health(0), PageHealth::Degraded);
+    }
+
+    #[test]
+    fn faulty_pe_positions_transform_under_orientation() {
+        let layout = PageLayout::for_size(Mesh::new(4, 4), 4).unwrap();
+        let mut m = FaultMap::for_layout(&layout);
+        m.mark_pe(&layout, layout.mesh().pe(Pos::new(0, 0))); // local (0,0) of page 0
+        assert_eq!(m.faulty_pes(0, Orientation::Identity), vec![Pos::new(0, 0)]);
+        assert_eq!(m.faulty_pes(0, Orientation::MirrorV), vec![Pos::new(0, 1)]);
+        assert_eq!(m.faulty_pes(0, Orientation::Rot180), vec![Pos::new(1, 1)]);
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips() {
+        for s in [
+            "off",
+            "at=5000,page=2",
+            "at=5000,page=2,degrade",
+            "mtbf=20000,count=4,seed=9",
+        ] {
+            let spec = FaultSpec::parse(s).unwrap();
+            assert_eq!(FaultSpec::parse(&spec.to_string()).unwrap(), spec, "{s}");
+        }
+        assert_eq!(FaultSpec::parse(""), Ok(FaultSpec::Off));
+        assert_eq!(FaultSpec::parse("none"), Ok(FaultSpec::Off));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultSpec::parse("at=5000").is_err());
+        assert!(FaultSpec::parse("page=1").is_err());
+        assert!(FaultSpec::parse("mtbf=0,count=3").is_err());
+        assert!(FaultSpec::parse("banana").is_err());
+        assert!(FaultSpec::parse("at=x,page=1").is_err());
+    }
+
+    #[test]
+    fn targeted_schedule_is_one_event() {
+        let spec = FaultSpec::parse("at=100,page=1").unwrap();
+        assert_eq!(
+            spec.schedule(4),
+            vec![FaultEvent {
+                time: 100,
+                page: 1,
+                kind: FaultKind::Kill
+            }]
+        );
+        // A page outside the fabric never fires.
+        assert!(spec.schedule(1).is_empty());
+    }
+
+    #[test]
+    fn mtbf_schedule_is_deterministic_and_sorted() {
+        let spec = FaultSpec::parse("mtbf=10000,count=16,seed=3").unwrap();
+        let a = spec.schedule(8);
+        let b = spec.schedule(8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(a.iter().all(|e| e.page < 8));
+        // A different seed gives a different schedule.
+        let c = FaultSpec::parse("mtbf=10000,count=16,seed=4")
+            .unwrap()
+            .schedule(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mtbf_mean_is_roughly_respected() {
+        let spec = FaultSpec::Mtbf {
+            mean: 1000,
+            count: 400,
+            seed: 1,
+            kind: FaultKind::Kill,
+        };
+        let events = spec.schedule(4);
+        let last = events.last().unwrap().time;
+        let mean = last as f64 / 400.0;
+        assert!(
+            (mean - 1000.0).abs() < 250.0,
+            "empirical MTBF {mean:.0} far from 1000"
+        );
+    }
+
+    #[test]
+    fn scaling_divides_the_mtbf() {
+        let spec = FaultSpec::parse("mtbf=8000,count=2,seed=0").unwrap();
+        match spec.scaled(4) {
+            FaultSpec::Mtbf { mean, .. } => assert_eq!(mean, 2000),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(FaultSpec::Off.scaled(4), FaultSpec::Off);
+    }
+}

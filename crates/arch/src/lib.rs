@@ -18,6 +18,8 @@
 //! * [`mirror`] — orientation transforms used when a page's intra-page
 //!   mapping must be mirrored during a shrink (Fig. 6).
 //! * [`memory`] — the shared row buses to data memory.
+//! * [`fault`] — the fault model: per-page health, PE-level fault
+//!   folding onto pages, and deterministic seeded injection schedules.
 //! * [`config`] — [`CgraConfig`](config::CgraConfig), the validated bundle
 //!   of all architectural parameters.
 //!
@@ -28,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod fault;
 pub mod memory;
 pub mod mirror;
 pub mod page;
@@ -36,6 +39,7 @@ pub mod register;
 pub mod topology;
 
 pub use config::CgraConfig;
+pub use fault::{FaultEvent, FaultKind, FaultMap, FaultSpec, FaultSpecError, PageHealth};
 pub use mirror::Orientation;
 pub use page::{PageId, PageLayout, PageShape};
 pub use pe::{FuClass, PeCapability};

@@ -22,7 +22,7 @@ fn print_figure(cache: &LibCache) {
     for &s in &[2usize, 4, 9] {
         for need in CgraNeed::ALL {
             for &t in &cgra_bench::THREAD_COUNTS {
-                points.push(fig9::run_point(cache, 6, s, need, t, &params));
+                points.push(fig9::run_point(cache, 6, s, need, t, &params).unwrap());
             }
         }
     }

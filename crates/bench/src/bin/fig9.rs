@@ -8,11 +8,17 @@
 //!   --csv                 emit CSV instead of tables
 //!   --ablation-overhead   run ablation A1 instead
 //!   --ablation-policy     run ablation A2 instead
+//!   --faults SPEC         fault-injection degradation curve instead of
+//!                         the grid: `at=<t>,page=<p>[,degrade]` or
+//!                         `mtbf=<mean>,count=<n>[,seed=<s>][,degrade]`;
+//!                         `off` runs the plain fault-free grid
+//!   --smoke               reduced seeds/work (fast CI smoke run)
 //!   --jobs N, -j N        worker threads (default: available cores,
 //!                         capped 16); output is byte-identical for all N
 //!   --no-cache            recompute every mapping; neither read nor
 //!                         write target/mapcache
 
+use cgra_arch::FaultSpec;
 use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig9::{self, Fig9Params};
 use cgra_bench::libcache::LibCache;
@@ -22,6 +28,13 @@ fn main() {
     let cfg = EngineConfig::from_args(&args);
     let engine = Engine::new(cfg);
     let cache = LibCache::for_config(cfg);
+
+    let mut params = Fig9Params::default();
+    if args.iter().any(|a| a == "--smoke") {
+        params.seeds = 2;
+        params.work_per_thread = 20_000;
+        params.bursts = 2;
+    }
 
     if args.iter().any(|a| a == "--ablation-overhead") {
         println!("## Ablation A1 — switch-transformation overhead (8x8, page 4, 8 threads, need 87.5%)\n");
@@ -39,9 +52,39 @@ fn main() {
         return;
     }
 
-    let points = fig9::run_all_with(&engine, &cache, &Fig9Params::default());
+    // --faults: throughput-vs-fault-rate degradation curve at the
+    // highest-contention operating point, instead of the full grid.
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        let raw = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--faults requires a spec, e.g. --faults mtbf=20000,count=4");
+            std::process::exit(2);
+        });
+        let base = FaultSpec::parse(raw).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        if base.is_off() {
+            // Fall through to the plain grid: it is fault-free by default,
+            // so `--faults off` must be byte-identical to no flag at all.
+            eprintln!("--faults off: nothing to inject; running the fault-free grid");
+        } else {
+            println!(
+                "## Degradation curve — faults `{base}` (8x8, page 4, 8 threads, need 87.5%)\n"
+            );
+            let curve = fig9::degradation_curve(&engine, &cache, 8, 4, base, &params);
+            println!("{}", fig9::render_curve(&curve));
+            eprintln!("mapcache: {:?}", cache.map_cache().stats());
+            return;
+        }
+    }
+
+    let results = fig9::run_all_with(&engine, &cache, &params);
     // Cache statistics go to stderr so stdout stays byte-deterministic.
     eprintln!("mapcache: {:?}", cache.map_cache().stats());
+    let (points, errors) = fig9::partition_results(results);
+    for (i, e) in &errors {
+        eprintln!("point {i} failed: {e}");
+    }
 
     if args.iter().any(|a| a == "--csv") {
         let rows: Vec<Vec<String>> = points
@@ -71,6 +114,9 @@ fn main() {
                 &rows
             )
         );
+        if !errors.is_empty() {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -81,5 +127,8 @@ fn main() {
     println!("## Headline (paper: >30% on 4x4, >75% on 6x6, >150% on 8x8)\n");
     for (dim, best) in fig9::headline(&points) {
         println!("{dim}x{dim}: best improvement at 16 threads = {best:+.1}%");
+    }
+    if !errors.is_empty() {
+        std::process::exit(1);
     }
 }

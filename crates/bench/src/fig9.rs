@@ -15,9 +15,10 @@
 
 use crate::engine::{point_seed, Engine};
 use crate::libcache::LibCache;
+use cgra_arch::FaultSpec;
 use cgra_sim::{
-    generate, improvement_percent, simulate_baseline, simulate_multithreaded, CgraNeed,
-    ExpandPolicy, MtConfig, WorkloadParams,
+    generate, improvement_percent, simulate_baseline, simulate_multithreaded_faulty, CgraNeed,
+    ExpandPolicy, FaultStats, MtConfig, SimError, WorkloadParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +41,9 @@ pub struct Fig9Point {
     pub base_makespan: f64,
     /// Mean multithreaded makespan (cycles).
     pub mt_makespan: f64,
+    /// Fault counters summed over the point's seeds (all zero when the
+    /// sweep runs fault-free).
+    pub faults: FaultStats,
 }
 
 /// Sweep parameters.
@@ -53,6 +57,11 @@ pub struct Fig9Params {
     pub bursts: usize,
     /// Multithreaded-system knobs.
     pub mt: MtConfig,
+    /// Fault schedule injected into every multithreaded run (the
+    /// baseline stays fault-free as the fixed reference). MTBF specs are
+    /// reseeded per point/seed so timelines are independent but
+    /// reproducible.
+    pub faults: FaultSpec,
 }
 
 impl Default for Fig9Params {
@@ -62,11 +71,18 @@ impl Default for Fig9Params {
             work_per_thread: 60_000,
             bursts: 4,
             mt: MtConfig::default(),
+            faults: FaultSpec::Off,
         }
     }
 }
 
 /// Measure one Fig. 9 point.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from the multithreaded simulator —
+/// e.g. a fault schedule that starves a thread. A poisoned point fills
+/// its own result slot; the rest of the sweep completes.
 pub fn run_point(
     cache: &LibCache,
     dim: u16,
@@ -74,13 +90,24 @@ pub fn run_point(
     need: CgraNeed,
     threads: usize,
     params: &Fig9Params,
-) -> Fig9Point {
+) -> Result<Fig9Point, SimError> {
     let lib = cache.get(dim, page_size);
     let mut improvements = Vec::with_capacity(params.seeds as usize);
     let mut shrinks = 0.0;
     let mut base_total = 0.0;
     let mut mt_total = 0.0;
+    let mut faults = FaultStats::default();
     for seed in 0..params.seeds {
+        // Seeded from the point's coordinates only — never from worker
+        // identity or execution order (the engine's determinism
+        // contract).
+        let wl_seed = point_seed(&[
+            dim as u64,
+            page_size as u64,
+            need as u64,
+            threads as u64,
+            seed,
+        ]);
         let workload = generate(
             &lib,
             &WorkloadParams {
@@ -88,27 +115,20 @@ pub fn run_point(
                 need,
                 work_per_thread: params.work_per_thread,
                 bursts: params.bursts,
-                // Seeded from the point's coordinates only — never from
-                // worker identity or execution order (the engine's
-                // determinism contract).
-                seed: point_seed(&[
-                    dim as u64,
-                    page_size as u64,
-                    need as u64,
-                    threads as u64,
-                    seed,
-                ]),
+                seed: wl_seed,
             },
         );
+        let events = params.faults.reseeded(wl_seed).schedule(lib.num_pages);
         let base = simulate_baseline(&lib, &workload);
-        let mt = simulate_multithreaded(&lib, &workload, params.mt);
+        let mt = simulate_multithreaded_faulty(&lib, &workload, params.mt, &events)?;
         improvements.push(improvement_percent(base.makespan, mt.makespan));
         shrinks += mt.shrinks as f64;
         base_total += base.makespan as f64;
         mt_total += mt.makespan as f64;
+        faults.absorb(&mt.faults);
     }
     let n = params.seeds as f64;
-    Fig9Point {
+    Ok(Fig9Point {
         dim,
         page_size,
         need,
@@ -117,11 +137,20 @@ pub fn run_point(
         mean_shrinks: shrinks / n,
         base_makespan: base_total / n,
         mt_makespan: mt_total / n,
-    }
+        faults,
+    })
 }
 
 /// Run the full Fig. 9 grid through an explicit engine and cache.
-pub fn run_all_with(engine: &Engine, cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+///
+/// Each point carries its own `Result`: one poisoned point (a fault
+/// schedule that starves a thread, a profile hole) reports its
+/// [`SimError`] in its slot while every other point completes.
+pub fn run_all_with(
+    engine: &Engine,
+    cache: &LibCache,
+    params: &Fig9Params,
+) -> Vec<Result<Fig9Point, SimError>> {
     // Phase 1: compile every fabric's library. Parallel across configs;
     // the mapping cache deduplicates shared per-kernel profiles, so no
     // compilation happens twice even when two configs race.
@@ -150,8 +179,24 @@ pub fn run_all_with(engine: &Engine, cache: &LibCache, params: &Fig9Params) -> V
 }
 
 /// Run the full Fig. 9 grid with default parallelism.
-pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Fig9Point> {
+pub fn run_all(cache: &LibCache, params: &Fig9Params) -> Vec<Result<Fig9Point, SimError>> {
     run_all_with(&Engine::default(), cache, params)
+}
+
+/// Split sweep results into the completed points and `(index, error)`
+/// pairs for the poisoned ones, preserving point order.
+pub fn partition_results(
+    results: Vec<Result<Fig9Point, SimError>>,
+) -> (Vec<Fig9Point>, Vec<(usize, SimError)>) {
+    let mut points = Vec::with_capacity(results.len());
+    let mut errors = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(p) => points.push(p),
+            Err(e) => errors.push((i, e)),
+        }
+    }
+    (points, errors)
 }
 
 /// Render one sub-figure (one CGRA size): rows = thread counts × needs.
@@ -219,7 +264,8 @@ pub fn ablation_overhead(cache: &LibCache, dim: u16, page_size: usize) -> Vec<(u
                 },
                 ..Default::default()
             };
-            let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params);
+            let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params)
+                .expect("fault-free ablation point");
             (overhead, p.improvement_pct)
         })
         .collect()
@@ -241,10 +287,98 @@ pub fn ablation_policy(cache: &LibCache, dim: u16, page_size: usize) -> Vec<(Str
             },
             ..Default::default()
         };
-        let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params);
+        let p = run_point(cache, dim, page_size, CgraNeed::High, 8, &params)
+            .expect("fault-free ablation point");
         (name.to_string(), p.improvement_pct)
     })
     .collect()
+}
+
+/// Fault-rate scale factors of the degradation curve: 0 is the
+/// fault-free reference row, then the base spec's rate ×1, ×2, ×4, ×8.
+pub const CURVE_SCALES: [u64; 5] = [0, 1, 2, 4, 8];
+
+/// Throughput-vs-fault-rate degradation curve at one operating point.
+///
+/// Row 0 is the fault-free reference; each following row scales the base
+/// MTBF spec's fault rate by [`CURVE_SCALES`] (for `At` specs the rate
+/// axis collapses, but the off-vs-on comparison still stands). Poisoned
+/// rows (e.g. every page dead) report their error in their slot.
+#[allow(clippy::type_complexity)]
+pub fn degradation_curve(
+    engine: &Engine,
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    base: FaultSpec,
+    params: &Fig9Params,
+) -> Vec<(u64, FaultSpec, Result<Fig9Point, SimError>)> {
+    cache.get(dim, page_size); // compile once, outside the sweep
+    let rows: Vec<(u64, FaultSpec)> = CURVE_SCALES
+        .iter()
+        .map(|&scale| {
+            let spec = if scale == 0 {
+                FaultSpec::Off
+            } else {
+                base.scaled(scale)
+            };
+            (scale, spec)
+        })
+        .collect();
+    let results = engine.run(&rows, |&(_, spec)| {
+        let row_params = Fig9Params {
+            faults: spec,
+            ..*params
+        };
+        run_point(cache, dim, page_size, CgraNeed::High, 8, &row_params)
+    });
+    rows.into_iter()
+        .zip(results)
+        .map(|((scale, spec), r)| (scale, spec, r))
+        .collect()
+}
+
+/// Render a degradation curve as a markdown table (errors in-row).
+pub fn render_curve(curve: &[(u64, FaultSpec, Result<Fig9Point, SimError>)]) -> String {
+    let headers = [
+        "rate x",
+        "spec",
+        "improv%",
+        "mt makespan",
+        "killed",
+        "degraded",
+        "remapped",
+        "revoked",
+        "recovery cyc",
+    ];
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(scale, spec, r)| match r {
+            Ok(p) => vec![
+                scale.to_string(),
+                spec.to_string(),
+                format!("{:+.1}", p.improvement_pct),
+                format!("{:.0}", p.mt_makespan),
+                p.faults.pages_killed.to_string(),
+                p.faults.pages_degraded.to_string(),
+                p.faults.threads_remapped.to_string(),
+                p.faults.threads_revoked.to_string(),
+                p.faults.recovery_cycles.to_string(),
+            ],
+            Err(e) => vec![
+                scale.to_string(),
+                spec.to_string(),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        })
+        .collect();
+    crate::table::markdown(&headers, &rows)
 }
 
 #[cfg(test)]
@@ -257,13 +391,14 @@ mod tests {
             work_per_thread: 20_000,
             bursts: 2,
             mt: MtConfig::default(),
+            faults: FaultSpec::Off,
         }
     }
 
     #[test]
     fn single_thread_improvement_is_small() {
         let cache = LibCache::new();
-        let p = run_point(&cache, 4, 4, CgraNeed::High, 1, &quick_params());
+        let p = run_point(&cache, 4, 4, CgraNeed::High, 1, &quick_params()).unwrap();
         // One thread cannot benefit; constrained II may even cost a bit.
         assert!(p.improvement_pct <= 5.0, "{}", p.improvement_pct);
     }
@@ -271,7 +406,7 @@ mod tests {
     #[test]
     fn contention_brings_improvement_on_8x8() {
         let cache = LibCache::new();
-        let p = run_point(&cache, 8, 4, CgraNeed::High, 16, &quick_params());
+        let p = run_point(&cache, 8, 4, CgraNeed::High, 16, &quick_params()).unwrap();
         assert!(p.improvement_pct > 50.0, "got {:.1}%", p.improvement_pct);
     }
 
@@ -279,8 +414,8 @@ mod tests {
     fn improvement_grows_with_array_size() {
         let cache = LibCache::new();
         let params = quick_params();
-        let p4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &params);
-        let p8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &params);
+        let p4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &params).unwrap();
+        let p8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &params).unwrap();
         assert!(
             p8.improvement_pct > p4.improvement_pct,
             "8x8 {:.1}% <= 4x4 {:.1}%",
@@ -292,7 +427,7 @@ mod tests {
     #[test]
     fn render_has_all_thread_counts() {
         let cache = LibCache::new();
-        let pts = vec![run_point(&cache, 4, 4, CgraNeed::Low, 2, &quick_params())];
+        let pts = vec![run_point(&cache, 4, 4, CgraNeed::Low, 2, &quick_params()).unwrap()];
         let s = render(&pts, 4);
         // The measured cell is rendered signed; everything else is "-".
         assert!(s.contains("50%"));
@@ -305,5 +440,69 @@ mod tests {
         let a = run_point(&cache, 4, 2, CgraNeed::Medium, 4, &quick_params());
         let b = run_point(&cache, 4, 2, CgraNeed::Medium, 4, &quick_params());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn off_faults_match_the_fault_free_point() {
+        let cache = LibCache::new();
+        let plain = run_point(&cache, 4, 4, CgraNeed::High, 8, &quick_params()).unwrap();
+        let off = run_point(
+            &cache,
+            4,
+            4,
+            CgraNeed::High,
+            8,
+            &Fig9Params {
+                faults: FaultSpec::Off,
+                ..quick_params()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, off);
+        assert!(!plain.faults.any());
+    }
+
+    #[test]
+    fn faulty_point_reports_counters_and_degrades() {
+        let cache = LibCache::new();
+        let params = Fig9Params {
+            faults: FaultSpec::Mtbf {
+                mean: 5_000,
+                count: 3,
+                seed: 7,
+                kind: cgra_arch::FaultKind::Kill,
+            },
+            ..quick_params()
+        };
+        let faulty = run_point(&cache, 8, 4, CgraNeed::High, 8, &params).unwrap();
+        let clean = run_point(&cache, 8, 4, CgraNeed::High, 8, &quick_params()).unwrap();
+        assert!(faulty.faults.any());
+        assert!(faulty.faults.pages_killed > 0);
+        assert!(
+            faulty.mt_makespan >= clean.mt_makespan,
+            "killing pages should not speed the system up: {} < {}",
+            faulty.mt_makespan,
+            clean.mt_makespan
+        );
+    }
+
+    #[test]
+    fn degradation_curve_has_fault_free_reference_row() {
+        let cache = LibCache::new();
+        let base = FaultSpec::Mtbf {
+            mean: 10_000,
+            count: 2,
+            seed: 1,
+            kind: cgra_arch::FaultKind::Kill,
+        };
+        let curve = degradation_curve(&Engine::with_jobs(2), &cache, 4, 4, base, &quick_params());
+        assert_eq!(curve.len(), CURVE_SCALES.len());
+        assert_eq!(curve[0].1, FaultSpec::Off);
+        let reference = curve[0].2.as_ref().unwrap();
+        assert!(!reference.faults.any());
+        let rendered = render_curve(&curve);
+        assert!(rendered.contains("rate x"));
+        // Every row rendered, errors included in-slot.
+        assert_eq!(rendered.lines().count(), CURVE_SCALES.len() + 2);
     }
 }

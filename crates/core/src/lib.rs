@@ -14,7 +14,10 @@
 //!   extraction.
 //! * [`validate`] — an independent checker for every §VI-C constraint
 //!   (slot exclusivity, dependence timing and column adjacency, capacity
-//!   bound).
+//!   bound), plus the dead-page checks for degraded plans.
+//! * [`degrade`] — [`DegradedPlan`](degrade::DegradedPlan): shrinking
+//!   onto the surviving contiguous run of a faulty page region instead
+//!   of panicking when pages die.
 //! * [`fold`] — the PE-level shrink-to-one-page of Fig. 6, with
 //!   intra-page mirroring and rotating-register pressure checks.
 //!
@@ -36,14 +39,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod degrade;
 pub mod fold;
 pub mod paged;
 pub mod pagemaster;
 pub mod transform;
 pub mod validate;
 
+pub use degrade::{transform_degraded, DegradedPlan};
 pub use fold::{fold_to_page, validate_fold, FoldedSchedule};
 pub use paged::{Discipline, PageDep, PagedSchedule};
-pub use pagemaster::transform_pagemaster;
+pub use pagemaster::{transform_pagemaster, transform_pagemaster_degraded};
 pub use transform::{transform_block, ShrinkPlan, Strategy, TransformError};
-pub use validate::{is_slot_optimal, validate_plan, TransformViolation};
+pub use validate::{is_slot_optimal, validate_degraded_plan, validate_plan, TransformViolation};

@@ -107,6 +107,9 @@ pub enum TransformError {
     },
     /// No steady state emerged within the warm-up budget.
     NoSteadyState,
+    /// Every page of the fault map is dead — there is nothing to remap
+    /// onto (see [`crate::degrade`]).
+    NoHealthyPages,
 }
 
 impl std::fmt::Display for TransformError {
@@ -129,6 +132,9 @@ impl std::fmt::Display for TransformError {
                 )
             }
             TransformError::NoSteadyState => write!(f, "no steady state within warm-up budget"),
+            TransformError::NoHealthyPages => {
+                write!(f, "no healthy pages survive in the fault map")
+            }
         }
     }
 }

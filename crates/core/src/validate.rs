@@ -76,6 +76,20 @@ pub enum TransformViolation {
         /// The bound `occupied cells / M` (per iteration).
         bound: f64,
     },
+    /// A degraded plan schedules a column onto a dead (or out-of-range)
+    /// physical page.
+    OpOnDeadPage {
+        /// The plan column.
+        col: u16,
+        /// The dead physical page it was assigned.
+        page: u16,
+    },
+    /// A degraded plan's physical pages are not one contiguous ascending
+    /// run — inter-column values could not route on the ring.
+    ColumnsNotContiguous {
+        /// The physical pages as listed, in column order.
+        pages: Vec<u16>,
+    },
 }
 
 impl std::fmt::Display for TransformViolation {
@@ -115,6 +129,12 @@ impl std::fmt::Display for TransformViolation {
             }
             TransformViolation::BelowCapacityBound { ii_q, bound } => {
                 write!(f, "II_q {ii_q} below capacity bound {bound}")
+            }
+            TransformViolation::OpOnDeadPage { col, page } => {
+                write!(f, "column {col} scheduled on dead page {page}")
+            }
+            TransformViolation::ColumnsNotContiguous { pages } => {
+                write!(f, "column pages {pages:?} are not a contiguous run")
             }
         }
     }
@@ -227,6 +247,44 @@ pub fn validate_plan(p: &PagedSchedule, plan: &ShrinkPlan) -> Vec<TransformViola
         violations.push(TransformViolation::BelowCapacityBound {
             ii_q: plan.ii_q(),
             bound,
+        });
+    }
+
+    violations.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    violations.dedup();
+    violations
+}
+
+/// Validate a [`DegradedPlan`](crate::degrade::DegradedPlan): the inner
+/// plan must pass [`validate_plan`], and additionally **no op may land on
+/// a dead page** — every plan column must be backed by a distinct,
+/// usable, in-range physical page, and the backing pages must form one
+/// contiguous ascending run (ring routability).
+pub fn validate_degraded_plan(
+    p: &PagedSchedule,
+    d: &crate::degrade::DegradedPlan,
+    faults: &cgra_arch::FaultMap,
+) -> Vec<TransformViolation> {
+    let mut violations = validate_plan(p, &d.plan);
+
+    let pages = &d.column_pages;
+    if pages.len() != d.plan.m as usize || d.effective_pages != d.plan.m {
+        violations.push(TransformViolation::ColumnsNotContiguous {
+            pages: pages.clone(),
+        });
+    }
+    for (col, &page) in pages.iter().enumerate() {
+        let dead = page >= faults.num_pages() || !faults.is_usable(page);
+        if dead {
+            violations.push(TransformViolation::OpOnDeadPage {
+                col: col as u16,
+                page,
+            });
+        }
+    }
+    if pages.windows(2).any(|w| w[1] != w[0] + 1) {
+        violations.push(TransformViolation::ColumnsNotContiguous {
+            pages: pages.clone(),
         });
     }
 

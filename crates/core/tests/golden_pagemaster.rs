@@ -15,8 +15,10 @@
 //! comparison, so a stale-but-valid golden file can never mask an invalid
 //! transform.
 
+use cgra_arch::{FaultMap, PageHealth};
+use cgra_core::degrade::{transform_degraded, DegradedPlan};
 use cgra_core::transform::{transform, Strategy};
-use cgra_core::{validate_plan, PagedSchedule, ShrinkPlan};
+use cgra_core::{validate_degraded_plan, validate_plan, PagedSchedule, ShrinkPlan};
 use cgra_mapper::{map_constrained, MapOptions};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -111,6 +113,18 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
+/// Canonical text rendering of a degraded plan: the fault headline,
+/// column-to-physical-page backing, then the inner plan.
+fn render_degraded(d: &DegradedPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "effective_pages: {}", d.effective_pages);
+    let _ = writeln!(out, "column_pages: {:?}", d.column_pages);
+    let _ = writeln!(out, "dead_pages: {:?}", d.dead_pages);
+    let _ = writeln!(out, "degraded_pages: {:?}", d.degraded_pages);
+    out.push_str(&render_plan(&d.plan));
+    out
+}
+
 #[test]
 fn schedule_before_matches_golden() {
     let paged = paged_fixture();
@@ -128,4 +142,22 @@ fn shrink_plans_match_golden_and_validate() {
         assert!(violations.is_empty(), "M={m}: {violations:?}");
         check_golden(&format!("{KERNEL}_after_m{m}.txt"), &render_plan(&plan));
     }
+}
+
+#[test]
+fn degraded_plan_matches_golden_and_validates() {
+    let paged = paged_fixture();
+    // Kill the first page of the region: the surviving run is pages
+    // 1..N, so the plan shrinks by exactly one column.
+    let mut faults = FaultMap::new(paged.num_pages);
+    faults.mark_page(0, PageHealth::Dead);
+    let degraded = transform_degraded(&paged, &faults, paged.num_pages, Strategy::Auto)
+        .expect("survives one dead page");
+    assert_eq!(degraded.effective_pages, paged.num_pages - 1);
+    let violations = validate_degraded_plan(&paged, &degraded, &faults);
+    assert!(violations.is_empty(), "{violations:?}");
+    check_golden(
+        &format!("{KERNEL}_degraded_dead0.txt"),
+        &render_degraded(&degraded),
+    );
 }

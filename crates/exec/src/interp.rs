@@ -2,6 +2,7 @@
 //! loop iterations, following dataflow semantics only (no schedule, no
 //! fabric).
 
+use crate::error::ExecError;
 use crate::semantics::{const_value, eval, Word};
 use cgra_dfg::graph::{Dfg, NodeId, OpKind};
 use rand::prelude::*;
@@ -30,12 +31,23 @@ impl InputStreams {
         InputStreams { streams }
     }
 
-    /// The input for a stream load at one iteration.
-    pub fn get(&self, node: NodeId, iteration: usize) -> Word {
+    /// The input for a stream load at one iteration, if present.
+    pub fn try_get(&self, node: NodeId, iteration: usize) -> Option<Word> {
         self.streams
             .get(&node.0)
             .and_then(|v| v.get(iteration))
             .copied()
+    }
+
+    /// The input for a stream load at one iteration.
+    ///
+    /// # Panics
+    ///
+    /// When the stream is missing or too short — convenience for tests
+    /// that built the streams themselves; execution paths use
+    /// [`InputStreams::try_get`] and report a typed error instead.
+    pub fn get(&self, node: NodeId, iteration: usize) -> Word {
+        self.try_get(node, iteration)
             .unwrap_or_else(|| panic!("no input for {node} iteration {iteration}"))
     }
 }
@@ -44,8 +56,10 @@ impl InputStreams {
 pub type Outputs = HashMap<u32, Vec<Word>>;
 
 /// Topological order of `dfg` over its distance-0 edges (carried edges
-/// read earlier iterations and impose no intra-iteration order).
-fn topo_order(dfg: &Dfg) -> Vec<NodeId> {
+/// read earlier iterations and impose no intra-iteration order), or
+/// [`ExecError::CyclicDfg`] if a zero-distance cycle slipped past the
+/// builder's validation.
+fn topo_order(dfg: &Dfg) -> Result<Vec<NodeId>, ExecError> {
     let n = dfg.num_nodes();
     let mut indeg = vec![0usize; n];
     for e in dfg.edges() {
@@ -67,12 +81,10 @@ fn topo_order(dfg: &Dfg) -> Vec<NodeId> {
             }
         }
     }
-    assert_eq!(
-        order.len(),
-        n,
-        "zero-distance cycle slipped past validation"
-    );
-    order
+    if order.len() != n {
+        return Err(ExecError::CyclicDfg);
+    }
+    Ok(order)
 }
 
 /// Interpret `dfg` for `iters` iterations over `inputs`.
@@ -80,8 +92,14 @@ fn topo_order(dfg: &Dfg) -> Vec<NodeId> {
 /// Loop-carried reads before iteration 0 see the value 0 (the paper's
 /// prologue is out of scope; both the interpreter and the machine use the
 /// same convention, so equivalence is unaffected).
-pub fn interpret(dfg: &Dfg, inputs: &InputStreams, iters: usize) -> Outputs {
-    let order = topo_order(dfg);
+///
+/// # Errors
+///
+/// [`ExecError::MissingInput`] when a stream load has no value for some
+/// iteration, [`ExecError::CyclicDfg`] when the graph has a
+/// zero-distance cycle.
+pub fn interpret(dfg: &Dfg, inputs: &InputStreams, iters: usize) -> Result<Outputs, ExecError> {
+    let order = topo_order(dfg)?;
     // values[node][iteration]
     let mut values: Vec<Vec<Word>> = vec![vec![0; iters]; dfg.num_nodes()];
     for i in 0..iters {
@@ -102,15 +120,21 @@ pub fn interpret(dfg: &Dfg, inputs: &InputStreams, iters: usize) -> Outputs {
                 .collect();
             values[v.index()][i] = match op {
                 OpKind::Const => const_value(v.index()),
-                OpKind::Load if operands.is_empty() => inputs.get(v, i),
+                OpKind::Load if operands.is_empty() => {
+                    inputs.try_get(v, i).ok_or(ExecError::MissingInput {
+                        node: v.0,
+                        iteration: i,
+                    })?
+                }
                 _ => eval(op, &operands),
             };
         }
     }
-    dfg.node_ids()
+    Ok(dfg
+        .node_ids()
         .filter(|&v| dfg.node(v).op == OpKind::Store)
         .map(|v| (v.0, values[v.index()].clone()))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -128,7 +152,7 @@ mod tests {
         let st = b.apply(OpKind::Store, &[sh]);
         let dfg = b.build().unwrap();
         let inputs = InputStreams::random(&dfg, 4, 1);
-        let out = interpret(&dfg, &inputs, 4);
+        let out = interpret(&dfg, &inputs, 4).unwrap();
         for (i, &v) in out[&st.0].iter().enumerate() {
             let x_v = inputs.get(x, i);
             assert_eq!(v, (x_v + x_v) << 1);
@@ -145,7 +169,7 @@ mod tests {
         let st = b.apply(OpKind::Store, &[acc]);
         let dfg = b.build().unwrap();
         let inputs = InputStreams::random(&dfg, 5, 2);
-        let out = interpret(&dfg, &inputs, 5);
+        let out = interpret(&dfg, &inputs, 5).unwrap();
         let mut sum = 0i64;
         for (i, &v) in out[&st.0].iter().enumerate() {
             sum += inputs.get(x, i);
@@ -162,7 +186,7 @@ mod tests {
         let st = b.apply(OpKind::Store, &[y]);
         let dfg = b.build().unwrap();
         let inputs = InputStreams::random(&dfg, 6, 3);
-        let out = interpret(&dfg, &inputs, 6);
+        let out = interpret(&dfg, &inputs, 6).unwrap();
         assert_eq!(out[&st.0][0], 0);
         assert_eq!(out[&st.0][1], 0);
         for (i, &v) in out[&st.0].iter().enumerate().skip(2) {
@@ -182,8 +206,25 @@ mod tests {
     fn all_kernels_interpret() {
         for k in cgra_dfg::kernels::all() {
             let inputs = InputStreams::random(&k, 4, 7);
-            let out = interpret(&k, &inputs, 4);
+            let out = interpret(&k, &inputs, 4).unwrap();
             assert!(!out.is_empty(), "{} produced no outputs", k.name);
         }
+    }
+
+    #[test]
+    fn short_input_stream_is_typed_error() {
+        let mut b = DfgBuilder::new("short");
+        let x = b.node(OpKind::Load);
+        b.apply(OpKind::Store, &[x]);
+        let dfg = b.build().unwrap();
+        // Streams hold 2 values; ask for 4 iterations.
+        let inputs = InputStreams::random(&dfg, 2, 5);
+        assert_eq!(
+            interpret(&dfg, &inputs, 4),
+            Err(ExecError::MissingInput {
+                node: x.0,
+                iteration: 2,
+            })
+        );
     }
 }

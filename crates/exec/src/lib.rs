@@ -11,6 +11,9 @@
 //! * [`machine`] — cycle-level execution of a mapped or PageMaster-folded
 //!   schedule: values only exist where and when their producing steps
 //!   published them; every read asserts physical presence.
+//! * [`error`] — the shared [`ExecError`] both paths report instead of
+//!   panicking, so a bad schedule or truncated input stream stays a
+//!   value the caller can route.
 //!
 //! The headline property (exercised by the test suites and
 //! `examples/functional_check.rs`): for every benchmark kernel,
@@ -27,10 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod error;
 pub mod interp;
 pub mod machine;
 pub mod semantics;
 
+pub use error::ExecError;
 pub use interp::{interpret, InputStreams, Outputs};
-pub use machine::{execute, ExecError, MachineSchedule};
+pub use machine::{execute, MachineSchedule};
 pub use semantics::{const_value, eval, Word};

@@ -9,6 +9,7 @@
 //! (or the wrong iteration's value) and execution would fail — this is
 //! the semantic ground truth the structural validators approximate.
 
+use crate::error::ExecError;
 use crate::interp::{InputStreams, Outputs};
 use crate::semantics::{const_value, eval, Word};
 use cgra_arch::topology::{Mesh, PeId};
@@ -53,53 +54,6 @@ impl MachineSchedule {
                 .iter()
                 .map(|hops| hops.iter().map(|o| (o.pe, o.time)).collect())
                 .collect(),
-        }
-    }
-}
-
-/// Why execution failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
-    /// A read found no value at the expected place and time.
-    ValueNotPresent {
-        /// Consumer description.
-        what: String,
-    },
-    /// A read site is neither the reader's PE nor adjacent to it.
-    NotAdjacent {
-        /// Reader PE.
-        reader: PeId,
-        /// Source PE.
-        source: PeId,
-    },
-    /// A memory load ran before its store's data was visible.
-    MemoryNotReady {
-        /// Store node index.
-        store: u32,
-        /// Instance.
-        instance: u64,
-    },
-    /// No legal read source could be derived for an edge (plan failure).
-    NoReadSource {
-        /// Edge index.
-        edge: usize,
-    },
-}
-
-impl std::fmt::Display for ExecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExecError::ValueNotPresent { what } => write!(f, "value not present: {what}"),
-            ExecError::NotAdjacent { reader, source } => {
-                write!(f, "read across non-link: {source} -> {reader}")
-            }
-            ExecError::MemoryNotReady { store, instance } => {
-                write!(
-                    f,
-                    "memory from store n{store} instance {instance} not ready"
-                )
-            }
-            ExecError::NoReadSource { edge } => write!(f, "edge #{edge} has no read source"),
         }
     }
 }
@@ -303,11 +257,17 @@ pub fn execute(
                     };
                     operands.push(read(&published, pe_v, src_shifted, e.src.0, inst, time)?);
                 }
-                let value = match op {
-                    OpKind::Const => const_value(v.index()),
-                    OpKind::Load if operands.is_empty() => inputs.get(v, j as usize),
-                    _ => eval(op, &operands),
-                };
+                let value =
+                    match op {
+                        OpKind::Const => const_value(v.index()),
+                        OpKind::Load if operands.is_empty() => inputs
+                            .try_get(v, j as usize)
+                            .ok_or(ExecError::MissingInput {
+                                node: v.0,
+                                iteration: j as usize,
+                            })?,
+                        _ => eval(op, &operands),
+                    };
                 publish(&mut published, (pe_v, node, j), time + 1, value);
                 if op == OpKind::Store {
                     // Visible in the data memory one cycle after execution.
@@ -332,7 +292,7 @@ mod tests {
         let cgra = cgra_arch::CgraConfig::square(4).with_rf_size(32);
         let kernel = cgra_dfg::kernels::by_name(name).unwrap();
         let inputs = InputStreams::random(&kernel, ITERS, 0xFEED);
-        let golden = interpret(&kernel, &inputs, ITERS);
+        let golden = interpret(&kernel, &inputs, ITERS).unwrap();
 
         for (label, result) in [
             (
@@ -389,7 +349,7 @@ mod tests {
             let mapped = map_constrained(&kernel, &cgra, &MapOptions::default()).unwrap();
             let folded = cgra_core::fold_to_page(&mapped, &cgra, cgra_arch::PageId(0)).unwrap();
             let inputs = InputStreams::random(&kernel, ITERS, 0xF01D);
-            let golden = interpret(&kernel, &inputs, ITERS);
+            let golden = interpret(&kernel, &inputs, ITERS).unwrap();
             let sched = MachineSchedule::from_fold(&folded);
             let out = execute(&mapped.mdfg, cgra.mesh(), &sched, &inputs, ITERS)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));

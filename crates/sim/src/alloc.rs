@@ -4,7 +4,16 @@
 //! access to the CGRA, the thread using the most pages is decreased to use
 //! half as many pages and the new thread is resized to fit into the freed
 //! portion … threads are expanded as other threads complete."
+//!
+//! Beyond budget *counts*, the allocator tracks page *identity*: which
+//! physical page backs which thread. Counts drive every policy decision
+//! (so fault-free runs are bit-identical to the count-only allocator this
+//! replaced); identity exists so a [`kill_page`](Allocator::kill_page)
+//! fault can find the owning thread and revoke exactly the page that
+//! died. Grants take the lowest-numbered free pages; shrinks return a
+//! thread's highest-numbered pages — both deterministic.
 
+use crate::error::SimError;
 use crate::kernel_lib::halving_chain;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -32,6 +41,8 @@ pub enum RequestOutcome {
     Shrunk {
         /// The shrunk thread.
         victim: usize,
+        /// The victim's allocation before the shrink.
+        victim_was: u16,
         /// The victim's new allocation.
         victim_pages: u16,
         /// Pages handed to the requester.
@@ -41,6 +52,49 @@ pub enum RequestOutcome {
     Queued,
 }
 
+/// What happened when a page died ([`Allocator::kill_page`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageDeath {
+    /// The page was already dead; nothing changed.
+    AlreadyDead,
+    /// The page was free; capacity shrank by one, no thread affected.
+    Unallocated,
+    /// The owning thread dropped to the next halving-chain budget.
+    Shrunk {
+        /// The affected thread.
+        victim: usize,
+        /// Its allocation before the fault.
+        from_pages: u16,
+        /// Its allocation after (next chain value below).
+        to_pages: u16,
+    },
+    /// The owning thread was at one page: its allocation is gone and it
+    /// must re-queue.
+    Revoked {
+        /// The evicted thread.
+        victim: usize,
+    },
+}
+
+/// One applied expansion: `thread` grew `from_pages → to_pages`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expansion {
+    /// The grown thread.
+    pub thread: usize,
+    /// Allocation before the expansion.
+    pub from_pages: u16,
+    /// Allocation after.
+    pub to_pages: u16,
+}
+
+/// Per-page ownership state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Free,
+    Dead,
+    Owned(usize),
+}
+
 /// Page bookkeeping for the multithreaded CGRA.
 #[derive(Debug, Clone)]
 pub struct Allocator {
@@ -48,6 +102,7 @@ pub struct Allocator {
     free: u16,
     running: BTreeMap<usize, u16>,
     chain: Vec<u16>,
+    pages: Vec<PageState>,
 }
 
 impl Allocator {
@@ -58,12 +113,21 @@ impl Allocator {
             free: n,
             running: BTreeMap::new(),
             chain: halving_chain(n),
+            pages: vec![PageState::Free; n as usize],
         }
     }
 
-    /// Pages currently unallocated.
+    /// Pages currently unallocated (and not dead).
     pub fn free_pages(&self) -> u16 {
         self.free
+    }
+
+    /// Pages still usable (free or owned; excludes dead).
+    pub fn usable_pages(&self) -> u16 {
+        self.pages
+            .iter()
+            .filter(|s| !matches!(s, PageState::Dead))
+            .count() as u16
     }
 
     /// Current allocation of a thread (None if not on the CGRA).
@@ -74,6 +138,24 @@ impl Allocator {
     /// Number of threads on the CGRA.
     pub fn active(&self) -> usize {
         self.running.len()
+    }
+
+    /// The thread owning `page`, if any.
+    pub fn owner_of(&self, page: u16) -> Option<usize> {
+        match self.pages.get(page as usize)? {
+            PageState::Owned(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The physical pages held by `thread`, ascending.
+    pub fn pages_of(&self, thread: usize) -> Vec<u16> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| *s == PageState::Owned(thread))
+            .map(|(i, _)| i as u16)
+            .collect()
     }
 
     fn largest_chain_at_most(&self, x: u16) -> Option<u16> {
@@ -88,16 +170,67 @@ impl Allocator {
         self.chain.iter().copied().find(|&x| x < c)
     }
 
+    /// Hand the `count` lowest-numbered free pages to `thread`.
+    fn take_free(&mut self, thread: usize, count: u16) -> Result<(), SimError> {
+        let mut left = count;
+        for s in self.pages.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            if *s == PageState::Free {
+                *s = PageState::Owned(thread);
+                left -= 1;
+            }
+        }
+        if left != 0 {
+            return Err(SimError::InvariantViolated {
+                detail: format!(
+                    "free count {} but only {} free pages",
+                    self.free,
+                    count - left
+                ),
+            });
+        }
+        self.free -= count;
+        Ok(())
+    }
+
+    /// Return `count` of `thread`'s highest-numbered pages to the free
+    /// pool.
+    fn give_back(&mut self, thread: usize, count: u16) -> Result<(), SimError> {
+        let mut left = count;
+        for s in self.pages.iter_mut().rev() {
+            if left == 0 {
+                break;
+            }
+            if *s == PageState::Owned(thread) {
+                *s = PageState::Free;
+                left -= 1;
+            }
+        }
+        if left != 0 {
+            return Err(SimError::InvariantViolated {
+                detail: format!("thread {thread} owns fewer than {count} pages"),
+            });
+        }
+        self.free += count;
+        Ok(())
+    }
+
     /// Request pages for `thread` (wanting `want`, a halving-chain value).
-    pub fn request(&mut self, thread: usize, want: u16) -> RequestOutcome {
+    pub fn request(&mut self, thread: usize, want: u16) -> Result<RequestOutcome, SimError> {
         debug_assert!(self.chain.contains(&want), "want {want} not on chain");
-        debug_assert!(!self.running.contains_key(&thread));
+        if self.running.contains_key(&thread) {
+            return Err(SimError::InvariantViolated {
+                detail: format!("thread {thread} requested pages while already on the CGRA"),
+            });
+        }
         // Unused portion first: no transformation of anyone needed.
         if self.free > 0 {
             if let Some(pages) = self.largest_chain_at_most(self.free.min(want)) {
-                self.free -= pages;
+                self.take_free(thread, pages)?;
                 self.running.insert(thread, pages);
-                return RequestOutcome::Granted { pages };
+                return Ok(RequestOutcome::Granted { pages });
             }
         }
         // Shrink the thread using the most pages (ties: lowest id).
@@ -106,44 +239,95 @@ impl Allocator {
             .iter()
             .max_by_key(|&(id, &pages)| (pages, std::cmp::Reverse(*id)))
             .map(|(&id, &pages)| (id, pages));
-        let Some((victim, victim_pages)) = victim else {
-            return RequestOutcome::Queued;
+        let Some((victim, victim_was)) = victim else {
+            return Ok(RequestOutcome::Queued);
         };
-        let Some(new_pages) = self.chain_below(victim_pages) else {
-            return RequestOutcome::Queued; // everyone already at 1 page
+        let Some(new_pages) = self.chain_below(victim_was) else {
+            return Ok(RequestOutcome::Queued); // everyone already at 1 page
         };
-        let freed = victim_pages - new_pages;
+        let freed = victim_was - new_pages;
         self.running.insert(victim, new_pages);
-        self.free += freed;
-        let pages = self
-            .largest_chain_at_most(self.free.min(want))
-            .expect("freed at least one page");
-        self.free -= pages;
+        self.give_back(victim, freed)?;
+        let pages =
+            self.largest_chain_at_most(self.free.min(want))
+                .ok_or(SimError::InvariantViolated {
+                    detail: "shrink freed no usable budget".to_string(),
+                })?;
+        self.take_free(thread, pages)?;
         self.running.insert(thread, pages);
-        RequestOutcome::Shrunk {
+        Ok(RequestOutcome::Shrunk {
             victim,
+            victim_was,
             victim_pages: new_pages,
             pages,
-        }
+        })
     }
 
     /// Release a thread's pages; returns how many were freed.
-    pub fn release(&mut self, thread: usize) -> u16 {
-        let pages = self.running.remove(&thread).expect("thread not running");
-        self.free += pages;
-        pages
+    pub fn release(&mut self, thread: usize) -> Result<u16, SimError> {
+        let pages = self
+            .running
+            .remove(&thread)
+            .ok_or(SimError::UnknownThread { thread })?;
+        self.give_back(thread, pages)?;
+        Ok(pages)
+    }
+
+    /// A page died. Capacity shrinks by one; if a thread owned the page
+    /// it drops to the next halving-chain budget below (its other freed
+    /// pages return to the pool), or loses its allocation entirely when
+    /// it was already at one page.
+    pub fn kill_page(&mut self, page: u16) -> Result<PageDeath, SimError> {
+        let Some(&state) = self.pages.get(page as usize) else {
+            return Err(SimError::PageOutOfRange {
+                page,
+                num_pages: self.n,
+            });
+        };
+        match state {
+            PageState::Dead => Ok(PageDeath::AlreadyDead),
+            PageState::Free => {
+                self.pages[page as usize] = PageState::Dead;
+                self.free -= 1;
+                Ok(PageDeath::Unallocated)
+            }
+            PageState::Owned(victim) => {
+                let from_pages = self
+                    .allocation(victim)
+                    .ok_or(SimError::UnknownThread { thread: victim })?;
+                self.pages[page as usize] = PageState::Dead;
+                match self.chain_below(from_pages) {
+                    None => {
+                        // Was at the chain bottom (one page): fully evicted.
+                        self.running.remove(&victim);
+                        Ok(PageDeath::Revoked { victim })
+                    }
+                    Some(to_pages) => {
+                        // The thread keeps `to_pages` of its surviving
+                        // pages; the rest (beyond the dead one) free up.
+                        let extra = from_pages - 1 - to_pages;
+                        self.give_back(victim, extra)?;
+                        self.running.insert(victim, to_pages);
+                        Ok(PageDeath::Shrunk {
+                            victim,
+                            from_pages,
+                            to_pages,
+                        })
+                    }
+                }
+            }
+        }
     }
 
     /// Expand running threads into free pages per `policy`. `want(t)`
-    /// caps each thread's growth. Returns `(thread, new_pages)` for every
-    /// applied expansion.
+    /// caps each thread's growth. Returns every applied expansion.
     pub fn expand(
         &mut self,
         policy: ExpandPolicy,
         want: impl Fn(usize) -> u16,
-    ) -> Vec<(usize, u16)> {
+    ) -> Result<Vec<Expansion>, SimError> {
         if policy == ExpandPolicy::None {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut applied = Vec::new();
         loop {
@@ -171,9 +355,13 @@ impl Allocator {
                 }
                 let cost = up - pages;
                 if cost <= self.free {
-                    self.free -= cost;
+                    self.take_free(id, cost)?;
                     self.running.insert(id, up);
-                    applied.push((id, up));
+                    applied.push(Expansion {
+                        thread: id,
+                        from_pages: pages,
+                        to_pages: up,
+                    });
                     progressed = true;
                     break;
                 }
@@ -182,12 +370,29 @@ impl Allocator {
                 break;
             }
         }
-        applied
+        Ok(applied)
     }
 
-    /// Sanity: allocations + free always equals N.
+    /// Sanity: allocations + free + dead always equals N, and the
+    /// identity map agrees with the counts.
     pub fn check_invariant(&self) -> bool {
-        self.running.values().sum::<u16>() + self.free == self.n
+        let dead = self
+            .pages
+            .iter()
+            .filter(|s| matches!(s, PageState::Dead))
+            .count() as u16;
+        let free_ident = self
+            .pages
+            .iter()
+            .filter(|s| matches!(s, PageState::Free))
+            .count() as u16;
+        let counts_ok = self.running.values().sum::<u16>() + self.free + dead == self.n;
+        let identity_ok = free_ident == self.free
+            && self
+                .running
+                .iter()
+                .all(|(&t, &c)| self.pages_of(t).len() as u16 == c);
+        counts_ok && identity_ok
     }
 }
 
@@ -198,45 +403,58 @@ mod tests {
     #[test]
     fn first_thread_gets_what_it_wants() {
         let mut a = Allocator::new(8);
-        assert_eq!(a.request(0, 8), RequestOutcome::Granted { pages: 8 });
+        assert_eq!(
+            a.request(0, 8).unwrap(),
+            RequestOutcome::Granted { pages: 8 }
+        );
+        assert_eq!(a.pages_of(0), (0..8).collect::<Vec<u16>>());
         assert!(a.check_invariant());
     }
 
     #[test]
     fn unused_portion_served_without_shrinking() {
         let mut a = Allocator::new(8);
-        a.request(0, 4);
+        a.request(0, 4).unwrap();
         // 4 pages free: second thread fits without a shrink.
-        assert_eq!(a.request(1, 4), RequestOutcome::Granted { pages: 4 });
+        assert_eq!(
+            a.request(1, 4).unwrap(),
+            RequestOutcome::Granted { pages: 4 }
+        );
+        assert_eq!(a.pages_of(1), vec![4, 5, 6, 7]);
         assert!(a.check_invariant());
     }
 
     #[test]
     fn shrink_halves_the_biggest() {
         let mut a = Allocator::new(8);
-        a.request(0, 8);
-        let out = a.request(1, 8);
+        a.request(0, 8).unwrap();
+        let out = a.request(1, 8).unwrap();
         assert_eq!(
             out,
             RequestOutcome::Shrunk {
                 victim: 0,
+                victim_was: 8,
                 victim_pages: 4,
                 pages: 4
             }
         );
+        // Victim keeps its lowest pages; newcomer takes the freed ones.
+        assert_eq!(a.pages_of(0), vec![0, 1, 2, 3]);
+        assert_eq!(a.pages_of(1), vec![4, 5, 6, 7]);
         assert!(a.check_invariant());
     }
 
     #[test]
     fn cascade_of_arrivals() {
         let mut a = Allocator::new(8);
-        a.request(0, 8);
-        a.request(1, 8); // 4 + 4
-        let out = a.request(2, 8); // shrink thread 0 (tie-lowest) to 2
+        a.request(0, 8).unwrap();
+        a.request(1, 8).unwrap(); // 4 + 4
+        let out = a.request(2, 8).unwrap(); // shrink thread 0 (tie-lowest) to 2
         assert_eq!(
             out,
             RequestOutcome::Shrunk {
                 victim: 0,
+                victim_was: 4,
                 victim_pages: 2,
                 pages: 2
             }
@@ -248,59 +466,157 @@ mod tests {
     #[test]
     fn queue_when_everyone_at_one_page() {
         let mut a = Allocator::new(2);
-        a.request(0, 2);
-        a.request(1, 2); // 1 + 1
-        assert_eq!(a.request(2, 2), RequestOutcome::Queued);
+        a.request(0, 2).unwrap();
+        a.request(1, 2).unwrap(); // 1 + 1
+        assert_eq!(a.request(2, 2).unwrap(), RequestOutcome::Queued);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn queued_request_drains_after_release() {
+        let mut a = Allocator::new(2);
+        a.request(0, 2).unwrap();
+        a.request(1, 2).unwrap(); // 1 + 1
+        assert_eq!(a.request(2, 2).unwrap(), RequestOutcome::Queued);
+        // Thread 0 finishes; the stalled request now fits its free page.
+        a.release(0).unwrap();
+        assert_eq!(
+            a.request(2, 2).unwrap(),
+            RequestOutcome::Granted { pages: 1 }
+        );
         assert!(a.check_invariant());
     }
 
     #[test]
     fn release_and_expand_smallest_first() {
         let mut a = Allocator::new(8);
-        a.request(0, 8);
-        a.request(1, 8); // 4+4
-        a.request(2, 8); // 2+4+2
+        a.request(0, 8).unwrap();
+        a.request(1, 8).unwrap(); // 4+4
+        a.request(2, 8).unwrap(); // 2+4+2
         assert_eq!(a.allocation(0), Some(2));
-        a.release(1);
-        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 8);
+        a.release(1).unwrap();
+        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 8).unwrap();
         // Thread 0 (2 pages) doubles to 4, then thread 2 doubles to 4.
-        assert_eq!(grown, vec![(0, 4), (2, 4)]);
+        assert_eq!(
+            grown,
+            vec![
+                Expansion {
+                    thread: 0,
+                    from_pages: 2,
+                    to_pages: 4
+                },
+                Expansion {
+                    thread: 2,
+                    from_pages: 2,
+                    to_pages: 4
+                }
+            ]
+        );
         assert!(a.check_invariant());
     }
 
     #[test]
     fn expansion_respects_want() {
         let mut a = Allocator::new(8);
-        a.request(0, 2);
-        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 2);
+        a.request(0, 2).unwrap();
+        let grown = a.expand(ExpandPolicy::SmallestFirst, |_| 2).unwrap();
         assert!(grown.is_empty(), "{grown:?}");
     }
 
     #[test]
     fn expand_none_is_inert() {
         let mut a = Allocator::new(8);
-        a.request(0, 2);
-        assert!(a.expand(ExpandPolicy::None, |_| 8).is_empty());
+        a.request(0, 2).unwrap();
+        assert!(a.expand(ExpandPolicy::None, |_| 8).unwrap().is_empty());
     }
 
     #[test]
     fn nine_page_chain_composition() {
         // 6x6 with 2x2 pages: 9 pages, chain [9,4,2,1].
         let mut a = Allocator::new(9);
-        assert_eq!(a.request(0, 9), RequestOutcome::Granted { pages: 9 });
-        let out = a.request(1, 9);
+        assert_eq!(
+            a.request(0, 9).unwrap(),
+            RequestOutcome::Granted { pages: 9 }
+        );
+        let out = a.request(1, 9).unwrap();
         // Victim halves 9 -> 4, freeing 5; newcomer takes 4 (largest chain <= 5).
         assert_eq!(
             out,
             RequestOutcome::Shrunk {
                 victim: 0,
+                victim_was: 9,
                 victim_pages: 4,
                 pages: 4
             }
         );
         assert_eq!(a.free_pages(), 1);
         // A third small thread can take the loose page without shrinking.
-        assert_eq!(a.request(2, 1), RequestOutcome::Granted { pages: 1 });
+        assert_eq!(
+            a.request(2, 1).unwrap(),
+            RequestOutcome::Granted { pages: 1 }
+        );
         assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn release_unknown_thread_is_typed_error() {
+        let mut a = Allocator::new(4);
+        assert_eq!(a.release(3), Err(SimError::UnknownThread { thread: 3 }));
+    }
+
+    #[test]
+    fn kill_free_page_shrinks_capacity() {
+        let mut a = Allocator::new(4);
+        assert_eq!(a.kill_page(2).unwrap(), PageDeath::Unallocated);
+        assert_eq!(a.free_pages(), 3);
+        assert_eq!(a.usable_pages(), 3);
+        assert_eq!(a.kill_page(2).unwrap(), PageDeath::AlreadyDead);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn kill_owned_page_shrinks_owner_to_chain_below() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8).unwrap();
+        // Page 5 dies: thread 0 drops 8 -> 4, pages 5 is dead and the
+        // other 3 surplus pages free up.
+        assert_eq!(
+            a.kill_page(5).unwrap(),
+            PageDeath::Shrunk {
+                victim: 0,
+                from_pages: 8,
+                to_pages: 4
+            }
+        );
+        assert_eq!(a.allocation(0), Some(4));
+        assert_eq!(a.pages_of(0).len(), 4);
+        assert!(!a.pages_of(0).contains(&5));
+        assert_eq!(a.free_pages(), 3);
+        assert_eq!(a.usable_pages(), 7);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn kill_last_page_revokes_thread() {
+        let mut a = Allocator::new(2);
+        a.request(0, 2).unwrap();
+        a.request(1, 2).unwrap(); // 1 + 1
+        let page = a.pages_of(1)[0];
+        assert_eq!(a.kill_page(page).unwrap(), PageDeath::Revoked { victim: 1 });
+        assert_eq!(a.allocation(1), None);
+        assert_eq!(a.active(), 1);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn kill_out_of_range_is_typed_error() {
+        let mut a = Allocator::new(4);
+        assert_eq!(
+            a.kill_page(9),
+            Err(SimError::PageOutOfRange {
+                page: 9,
+                num_pages: 4
+            })
+        );
     }
 }

@@ -70,6 +70,7 @@ pub fn simulate_baseline(lib: &KernelLibrary, threads: &[ThreadSpec]) -> SimRepo
         shrinks: 0,
         expands: 0,
         stall_cycles,
+        faults: Default::default(),
     }
 }
 

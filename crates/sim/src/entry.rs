@@ -10,10 +10,12 @@
 //! sweep point.
 
 use crate::baseline::simulate_baseline;
+use crate::error::SimError;
 use crate::kernel_lib::KernelLibrary;
-use crate::multithreaded::{simulate_multithreaded, MtConfig};
+use crate::multithreaded::{simulate_multithreaded_faulty, MtConfig};
 use crate::stats::SimReport;
 use crate::workload::{generate, WorkloadParams};
+use cgra_arch::FaultSpec;
 
 /// Baseline and multithreaded reports for one generated workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,21 +33,45 @@ pub struct PointReport {
 /// identical results to serial calls. The workload is regenerated from
 /// `params.seed` — callers get determinism by deriving that seed from
 /// point coordinates, never from worker identity or call order.
-pub fn simulate_point(lib: &KernelLibrary, params: &WorkloadParams, mt: MtConfig) -> PointReport {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the multithreaded simulator so the
+/// bench engine can report a poisoned point in its own result slot.
+pub fn simulate_point(
+    lib: &KernelLibrary,
+    params: &WorkloadParams,
+    mt: MtConfig,
+) -> Result<PointReport, SimError> {
+    simulate_point_faulty(lib, params, mt, FaultSpec::Off)
+}
+
+/// [`simulate_point`] under a fault schedule: `faults` is expanded into
+/// concrete events over the library's fabric and injected into the
+/// multithreaded run (the baseline system models today's monolithic
+/// CGRA, which has no page-level fault story — it stays fault-free so
+/// degradation curves compare against a fixed reference).
+pub fn simulate_point_faulty(
+    lib: &KernelLibrary,
+    params: &WorkloadParams,
+    mt: MtConfig,
+    faults: FaultSpec,
+) -> Result<PointReport, SimError> {
     let workload = generate(lib, params);
-    PointReport {
+    let events = faults.schedule(lib.num_pages);
+    Ok(PointReport {
         baseline: simulate_baseline(lib, &workload),
-        multithreaded: simulate_multithreaded(lib, &workload, mt),
-    }
+        multithreaded: simulate_multithreaded_faulty(lib, &workload, mt, &events)?,
+    })
 }
 
 /// Compile-time proof that simulator inputs and outputs cross threads.
 ///
 /// Called from nowhere at runtime; if `KernelLibrary`, `SimReport`,
-/// `MtConfig` or `WorkloadParams` ever gain a non-`Send`/`Sync` field
-/// (an `Rc`, a raw pointer, a thread-local handle), this stops
-/// compiling — turning a latent data race in the sweep engine into a
-/// build error.
+/// `MtConfig`, `WorkloadParams` or `SimError` ever gain a
+/// non-`Send`/`Sync` field (an `Rc`, a raw pointer, a thread-local
+/// handle), this stops compiling — turning a latent data race in the
+/// sweep engine into a build error.
 pub fn assert_parallel_safe() {
     fn ok<T: Send + Sync>() {}
     ok::<KernelLibrary>();
@@ -53,11 +79,14 @@ pub fn assert_parallel_safe() {
     ok::<PointReport>();
     ok::<MtConfig>();
     ok::<WorkloadParams>();
+    ok::<SimError>();
+    ok::<FaultSpec>();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multithreaded::simulate_multithreaded;
     use crate::workload::CgraNeed;
     use cgra_mapper::MapOptions;
 
@@ -75,13 +104,33 @@ mod tests {
             bursts: 2,
             seed: 11,
         };
-        let combined = simulate_point(&lib, &params, MtConfig::default());
+        let combined = simulate_point(&lib, &params, MtConfig::default()).unwrap();
         let workload = generate(&lib, &params);
         assert_eq!(combined.baseline, simulate_baseline(&lib, &workload));
         assert_eq!(
             combined.multithreaded,
-            simulate_multithreaded(&lib, &workload, MtConfig::default())
+            simulate_multithreaded(&lib, &workload, MtConfig::default()).unwrap()
         );
+    }
+
+    #[test]
+    fn off_spec_equals_plain_point() {
+        let lib = KernelLibrary::compile_benchmarks(
+            &cgra_arch::CgraConfig::square(4),
+            &MapOptions::default(),
+        )
+        .unwrap();
+        let params = WorkloadParams {
+            threads: 4,
+            need: CgraNeed::High,
+            work_per_thread: 10_000,
+            bursts: 2,
+            seed: 3,
+        };
+        let plain = simulate_point(&lib, &params, MtConfig::default()).unwrap();
+        let off =
+            simulate_point_faulty(&lib, &params, MtConfig::default(), FaultSpec::Off).unwrap();
+        assert_eq!(plain, off);
     }
 
     #[test]
@@ -100,11 +149,11 @@ mod tests {
                 seed: i as u64,
             })
             .collect();
-        let serial: Vec<PointReport> = all_params
+        let serial: Vec<Result<PointReport, SimError>> = all_params
             .iter()
             .map(|p| simulate_point(&lib, p, MtConfig::default()))
             .collect();
-        let parallel: Vec<PointReport> = std::thread::scope(|s| {
+        let parallel: Vec<Result<PointReport, SimError>> = std::thread::scope(|s| {
             let handles: Vec<_> = all_params
                 .iter()
                 .map(|p| s.spawn(|| simulate_point(&lib, p, MtConfig::default())))

@@ -54,6 +54,21 @@ impl EventQueue {
             .push(Reverse((time, thread, self.versions[thread])));
     }
 
+    /// Time of the next *valid* event without popping it (stale heads
+    /// are discarded on the way). The fault-injection loop uses this to
+    /// apply every fault due *before* the next thread event — applying a
+    /// fault bumps versions, which can invalidate an already-popped
+    /// event, so peeking first is load-bearing, not an optimisation.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        while let Some(&Reverse((time, thread, version))) = self.heap.peek() {
+            if self.versions[thread] == version {
+                return Some(time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
     /// Pop the next *valid* event, skipping stale ones.
     pub fn pop(&mut self) -> Option<Event> {
         while let Some(Reverse((time, thread, version))) = self.heap.pop() {
@@ -108,6 +123,20 @@ mod tests {
         q.push(10, 0);
         assert_eq!(q.pop().unwrap().thread, 0);
         assert_eq!(q.pop().unwrap().thread, 1);
+    }
+
+    #[test]
+    fn peek_skips_stale_and_preserves_pop() {
+        let mut q = EventQueue::new(2);
+        q.push(10, 0);
+        q.bump(0); // stale
+        q.push(25, 0);
+        q.push(15, 1);
+        assert_eq!(q.peek_time(), Some(15));
+        assert_eq!(q.pop().unwrap().time, 15);
+        assert_eq!(q.peek_time(), Some(25));
+        assert_eq!(q.pop().unwrap().time, 25);
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

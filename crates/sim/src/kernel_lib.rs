@@ -100,16 +100,24 @@ impl KernelProfile {
             .unwrap_or(n)
     }
 
-    /// Cycles per kernel iteration with `m` pages allocated.
-    ///
-    /// # Panics
-    /// Panics if `m` is not on the halving chain the profile was built
-    /// for.
-    pub fn ii_at(&self, m: u16) -> u32 {
+    /// Cycles per kernel iteration with `m` pages allocated, or `None`
+    /// if `m` is off the halving chain the profile was built for. The
+    /// simulator's fault paths use this to report a typed
+    /// [`SimError`](crate::error::SimError) instead of panicking.
+    pub fn try_ii_at(&self, m: u16) -> Option<u32> {
         self.ii_by_pages
             .iter()
             .find(|&&(pm, _)| pm == m)
             .map(|&(_, ii)| ii)
+    }
+
+    /// Cycles per kernel iteration with `m` pages allocated.
+    ///
+    /// # Panics
+    /// Panics if `m` is not on the halving chain the profile was built
+    /// for (use [`try_ii_at`](Self::try_ii_at) on fallible paths).
+    pub fn ii_at(&self, m: u16) -> u32 {
+        self.try_ii_at(m)
             .unwrap_or_else(|| panic!("{}: no transform cached for M={m}", self.name))
     }
 }

@@ -13,6 +13,13 @@
 //! Workloads ([`workload`]) follow §VII-B.1: 1–16 threads, CGRA need of
 //! 50 / 75 / 87.5 %, kernels drawn uniformly from the 11-benchmark
 //! library ([`kernel_lib`]).
+//!
+//! Faults are first-class:
+//! [`multithreaded::simulate_multithreaded_faulty`] injects page deaths
+//! and degradations mid-run (pages revoked via the allocator, owners
+//! remapped or re-queued), and every fallible path reports a typed
+//! [`error::SimError`] instead of panicking, so one poisoned sweep point
+//! cannot abort a whole bench run.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,16 +27,18 @@
 pub mod alloc;
 pub mod baseline;
 pub mod entry;
+pub mod error;
 pub mod event;
 pub mod kernel_lib;
 pub mod multithreaded;
 pub mod stats;
 pub mod workload;
 
-pub use alloc::{Allocator, ExpandPolicy, RequestOutcome};
+pub use alloc::{Allocator, ExpandPolicy, Expansion, PageDeath, RequestOutcome};
 pub use baseline::simulate_baseline;
-pub use entry::{simulate_point, PointReport};
+pub use entry::{simulate_point, simulate_point_faulty, PointReport};
+pub use error::SimError;
 pub use kernel_lib::{halving_chain, KernelLibrary, KernelProfile};
-pub use multithreaded::{simulate_multithreaded, MtConfig};
-pub use stats::{improvement_percent, SimReport};
+pub use multithreaded::{simulate_multithreaded, simulate_multithreaded_faulty, MtConfig};
+pub use stats::{improvement_percent, FaultStats, SimReport};
 pub use workload::{generate, CgraNeed, Segment, ThreadSpec, WorkloadParams};

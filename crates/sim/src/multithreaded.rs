@@ -9,12 +9,27 @@
 //! of II_p × N/M"), plus a configurable transformation overhead (the
 //! paper argues it is negligible against the kernel-memory transfer; the
 //! `fig9 --ablation-overhead` sweep tests that claim).
+//!
+//! ## Fault injection
+//!
+//! [`simulate_multithreaded_faulty`] additionally threads a schedule of
+//! [`FaultEvent`]s through the discrete-event loop. A page *death* is
+//! handled exactly like a contention shrink — the owning thread is
+//! remapped onto its surviving pages at the next iteration boundary (or
+//! re-queued when it was already at one page) — and a page *degrade*
+//! slows whoever holds the page by `degrade_factor`. Every fault is
+//! applied **before** the next thread event at a later time, because
+//! applying one bumps event versions; the loop peeks instead of popping
+//! for exactly this reason. Fault-free runs take the same code path and
+//! are bit-identical to the pre-fault simulator.
 
-use crate::alloc::{Allocator, ExpandPolicy, RequestOutcome};
+use crate::alloc::{Allocator, ExpandPolicy, PageDeath, RequestOutcome};
+use crate::error::SimError;
 use crate::event::EventQueue;
 use crate::kernel_lib::KernelLibrary;
-use crate::stats::SimReport;
+use crate::stats::{FaultStats, SimReport};
 use crate::workload::{Segment, ThreadSpec};
+use cgra_arch::{FaultEvent, FaultKind, FaultMap, PageHealth};
 use std::collections::VecDeque;
 
 /// Multithreaded-system knobs.
@@ -24,6 +39,9 @@ pub struct MtConfig {
     pub switch_overhead: u64,
     /// Redistribution policy when pages free up.
     pub expand: ExpandPolicy,
+    /// II multiplier for a thread holding a *degraded* (but usable)
+    /// page. 1 = degraded pages run at full speed.
+    pub degrade_factor: u64,
 }
 
 impl Default for MtConfig {
@@ -31,6 +49,7 @@ impl Default for MtConfig {
         MtConfig {
             switch_overhead: 0,
             expand: ExpandPolicy::SmallestFirst,
+            degrade_factor: 2,
         }
     }
 }
@@ -66,6 +85,14 @@ struct Sim<'a> {
     finish: Vec<u64>,
     alloc: Allocator,
     queue: VecDeque<usize>,
+    // Fault injection.
+    fault_events: Vec<FaultEvent>,
+    fault_idx: usize,
+    faults: FaultMap,
+    fstats: FaultStats,
+    /// Threads queued because a fault revoked their last page (their
+    /// wait counts toward recovery latency, not just stall time).
+    fault_waiting: Vec<bool>,
     // Stats.
     cgra_iterations: u64,
     page_cycles: u64,
@@ -91,9 +118,33 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Cycles per iteration for `thread` running `kernel` on `pages`
+    /// pages, including the degraded-page slowdown. Typed error instead
+    /// of a panic when the budget is off the profile's chain.
+    fn effective_rate(&self, thread: usize, kernel: usize, pages: u16) -> Result<u64, SimError> {
+        let profile = self.lib.profile(kernel);
+        let base = profile
+            .try_ii_at(pages)
+            .ok_or_else(|| SimError::ProfileMissing {
+                kernel: profile.name.clone(),
+                m: pages,
+            })? as u64;
+        let slowed = self
+            .alloc
+            .pages_of(thread)
+            .iter()
+            .any(|&p| self.faults.health(p) == PageHealth::Degraded);
+        Ok(if slowed {
+            base * self.cfg.degrade_factor.max(1)
+        } else {
+            base
+        })
+    }
+
     /// Change a running thread's rate at the next iteration boundary of
-    /// its old schedule (plus the switch overhead).
-    fn set_rate(&mut self, thread: usize, now: u64, new_rate: u64) {
+    /// its old schedule (plus the switch overhead). Returns the time the
+    /// new schedule takes over, or `None` when no switch was needed.
+    fn set_rate(&mut self, thread: usize, now: u64, new_rate: u64) -> Option<u64> {
         let Mode::OnCgra {
             kernel,
             remaining,
@@ -101,10 +152,10 @@ impl<'a> Sim<'a> {
             since,
         } = self.mode[thread]
         else {
-            return;
+            return None;
         };
         if new_rate == rate {
-            return;
+            return None;
         }
         // `since` can lie in the future while a previous switch's overhead
         // drains; no progress has been made in that case.
@@ -131,6 +182,7 @@ impl<'a> Sim<'a> {
                 since: boundary,
             };
             self.q.push(boundary, thread);
+            Some(boundary)
         } else {
             self.mode[thread] = Mode::OnCgra {
                 kernel,
@@ -139,6 +191,7 @@ impl<'a> Sim<'a> {
                 since,
             };
             self.q.push(since + remaining * new_rate, thread);
+            Some(since)
         }
     }
 
@@ -150,8 +203,8 @@ impl<'a> Sim<'a> {
         iterations: u64,
         now: u64,
         pages: u16,
-    ) {
-        let rate = self.lib.profile(kernel).ii_at(pages) as u64;
+    ) -> Result<(), SimError> {
+        let rate = self.effective_rate(thread, kernel, pages)?;
         let since = now + self.cfg.switch_overhead;
         self.mode[thread] = Mode::OnCgra {
             kernel,
@@ -162,35 +215,39 @@ impl<'a> Sim<'a> {
         self.pages_busy += pages as u64;
         self.q.bump(thread);
         self.q.push(since + iterations * rate, thread);
+        Ok(())
     }
 
     /// Handle a CGRA page request; may shrink a victim.
-    fn request_cgra(&mut self, thread: usize, kernel: usize, iterations: u64, now: u64) {
+    fn request_cgra(
+        &mut self,
+        thread: usize,
+        kernel: usize,
+        iterations: u64,
+        now: u64,
+    ) -> Result<(), SimError> {
         let want = self.lib.profile(kernel).wanted_pages(self.lib.num_pages);
-        match self.alloc.request(thread, want) {
+        match self.alloc.request(thread, want)? {
             RequestOutcome::Granted { pages } => {
                 self.integrate(now);
-                self.start_kernel(thread, kernel, iterations, now, pages);
+                self.start_kernel(thread, kernel, iterations, now, pages)?;
             }
             RequestOutcome::Shrunk {
                 victim,
+                victim_was,
                 victim_pages,
                 pages,
             } => {
                 self.integrate(now);
                 self.shrinks += 1;
-                let old_pages = match self.mode[victim] {
-                    Mode::OnCgra { kernel: vk, .. } => {
-                        let new_rate = self.lib.profile(vk).ii_at(victim_pages) as u64;
-                        // pages_busy: victim gave up (old - new) pages.
-                        let old = self.victim_old_pages(victim_pages);
-                        self.set_rate(victim, now, new_rate);
-                        old
-                    }
-                    _ => unreachable!("victim must be running"),
+                let Mode::OnCgra { kernel: vk, .. } = self.mode[victim] else {
+                    return Err(SimError::VictimNotRunning { thread: victim });
                 };
-                self.pages_busy -= (old_pages - victim_pages) as u64;
-                self.start_kernel(thread, kernel, iterations, now, pages);
+                let new_rate = self.effective_rate(victim, vk, victim_pages)?;
+                // pages_busy: victim gave up (old - new) pages.
+                self.set_rate(victim, now, new_rate);
+                self.pages_busy -= (victim_was - victim_pages) as u64;
+                self.start_kernel(thread, kernel, iterations, now, pages)?;
             }
             RequestOutcome::Queued => {
                 self.mode[thread] = Mode::Waiting {
@@ -201,31 +258,12 @@ impl<'a> Sim<'a> {
                 self.queue.push_back(thread);
             }
         }
+        Ok(())
     }
 
-    fn victim_old_pages(&self, new_pages: u16) -> u16 {
-        // The allocator halves along the chain; recover the previous
-        // value (the chain element directly above new_pages).
-        crate::kernel_lib::halving_chain(self.lib.num_pages)
-            .into_iter()
-            .rev()
-            .find(|&c| c > new_pages)
-            .expect("victim was above the chain bottom")
-    }
-
-    /// A thread finished its kernel segment: release pages, serve the
-    /// queue, expand survivors.
-    fn finish_kernel(&mut self, thread: usize, now: u64) {
-        let Mode::OnCgra { remaining, .. } = self.mode[thread] else {
-            unreachable!("finish_kernel on non-running thread");
-        };
-        self.cgra_iterations += remaining;
-        self.integrate(now);
-        let freed = self.alloc.release(thread);
-        self.pages_busy -= freed as u64;
-        self.advance(thread, now);
-
-        // Serve stalled threads first.
+    /// Serve stalled threads from freed pages, then grow the survivors.
+    /// Runs after every kernel completion and after every page death.
+    fn redistribute(&mut self, now: u64) -> Result<(), SimError> {
         while let Some(&head) = self.queue.front() {
             let Mode::Waiting {
                 kernel,
@@ -241,39 +279,49 @@ impl<'a> Sim<'a> {
             }
             self.queue.pop_front();
             self.stall_cycles += now - enqueued;
+            if self.fault_waiting[head] {
+                self.fault_waiting[head] = false;
+                self.fstats.recovery_cycles += now - enqueued;
+            }
             // Re-request: guaranteed to be served from free pages.
-            self.request_cgra(head, kernel, iterations, now);
+            self.request_cgra(head, kernel, iterations, now)?;
         }
 
         // Then grow the survivors.
-        let lib = self.lib;
         let wants: Vec<u16> = (0..self.threads.len()).map(|t| self.want(t)).collect();
-        let grown = self.alloc.expand(self.cfg.expand, |t| wants[t]);
-        for (t, new_pages) in grown {
+        let grown = self.alloc.expand(self.cfg.expand, |t| wants[t])?;
+        for ex in grown {
             self.expands += 1;
-            if let Mode::OnCgra { kernel, .. } = self.mode[t] {
-                let old = self.alloc_pages_before_expand(new_pages);
-                self.pages_busy += (new_pages - old) as u64;
-                let new_rate = lib.profile(kernel).ii_at(new_pages) as u64;
-                self.set_rate(t, now, new_rate);
+            if let Mode::OnCgra { kernel, .. } = self.mode[ex.thread] {
+                self.pages_busy += (ex.to_pages - ex.from_pages) as u64;
+                let new_rate = self.effective_rate(ex.thread, kernel, ex.to_pages)?;
+                self.set_rate(ex.thread, now, new_rate);
             }
         }
+        Ok(())
     }
 
-    fn alloc_pages_before_expand(&self, new_pages: u16) -> u16 {
-        crate::kernel_lib::halving_chain(self.lib.num_pages)
-            .into_iter()
-            .find(|&c| c < new_pages)
-            .unwrap_or(new_pages)
+    /// A thread finished its kernel segment: release pages, serve the
+    /// queue, expand survivors.
+    fn finish_kernel(&mut self, thread: usize, now: u64) -> Result<(), SimError> {
+        let Mode::OnCgra { remaining, .. } = self.mode[thread] else {
+            return Err(SimError::VictimNotRunning { thread });
+        };
+        self.cgra_iterations += remaining;
+        self.integrate(now);
+        let freed = self.alloc.release(thread)?;
+        self.pages_busy -= freed as u64;
+        self.advance(thread, now)?;
+        self.redistribute(now)
     }
 
     /// Move a thread to its next segment at `now`.
-    fn advance(&mut self, thread: usize, now: u64) {
+    fn advance(&mut self, thread: usize, now: u64) -> Result<(), SimError> {
         let idx = self.seg_idx[thread];
         if idx >= self.threads[thread].segments.len() {
             self.mode[thread] = Mode::Done;
             self.finish[thread] = now;
-            return;
+            return Ok(());
         }
         self.seg_idx[thread] += 1;
         match self.threads[thread].segments[idx] {
@@ -281,28 +329,164 @@ impl<'a> Sim<'a> {
                 self.mode[thread] = Mode::Advancing;
                 self.q.bump(thread);
                 self.q.push(now + cycles, thread);
+                Ok(())
             }
             Segment::Cgra { kernel, iterations } => {
-                self.request_cgra(thread, kernel, iterations, now);
+                self.request_cgra(thread, kernel, iterations, now)
             }
         }
     }
 
-    fn run(&mut self) {
+    /// Apply one fault event at its scheduled time.
+    fn apply_fault(&mut self, ev: FaultEvent) -> Result<(), SimError> {
+        let now = ev.time;
+        if ev.page >= self.faults.num_pages() {
+            return Err(SimError::PageOutOfRange {
+                page: ev.page,
+                num_pages: self.faults.num_pages(),
+            });
+        }
+        self.fstats.injected += 1;
+        match ev.kind {
+            FaultKind::Degrade => {
+                if self.faults.health(ev.page) != PageHealth::Healthy {
+                    return Ok(()); // dead or already degraded: no change
+                }
+                self.faults.mark_page(ev.page, PageHealth::Degraded);
+                self.fstats.pages_degraded += 1;
+                if let Some(owner) = self.alloc.owner_of(ev.page) {
+                    if let Mode::OnCgra { kernel, .. } = self.mode[owner] {
+                        let pages = self
+                            .alloc
+                            .allocation(owner)
+                            .ok_or(SimError::UnknownThread { thread: owner })?;
+                        let rate = self.effective_rate(owner, kernel, pages)?;
+                        if let Some(at) = self.set_rate(owner, now, rate) {
+                            self.fstats.recovery_cycles += at.saturating_sub(now);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            FaultKind::Kill => {
+                if self.faults.health(ev.page) == PageHealth::Dead {
+                    return Ok(());
+                }
+                self.faults.mark_page(ev.page, PageHealth::Dead);
+                self.fstats.pages_killed += 1;
+                match self.alloc.kill_page(ev.page)? {
+                    PageDeath::AlreadyDead | PageDeath::Unallocated => {}
+                    PageDeath::Shrunk {
+                        victim,
+                        from_pages,
+                        to_pages,
+                    } => {
+                        self.integrate(now);
+                        self.fstats.threads_remapped += 1;
+                        self.pages_busy -= (from_pages - to_pages) as u64;
+                        let Mode::OnCgra { kernel, .. } = self.mode[victim] else {
+                            return Err(SimError::VictimNotRunning { thread: victim });
+                        };
+                        let rate = self.effective_rate(victim, kernel, to_pages)?;
+                        if let Some(at) = self.set_rate(victim, now, rate) {
+                            self.fstats.recovery_cycles += at.saturating_sub(now);
+                        }
+                    }
+                    PageDeath::Revoked { victim } => {
+                        self.integrate(now);
+                        self.fstats.threads_revoked += 1;
+                        self.pages_busy -= 1;
+                        let Mode::OnCgra {
+                            kernel,
+                            remaining,
+                            rate,
+                            since,
+                        } = self.mode[victim]
+                        else {
+                            return Err(SimError::VictimNotRunning { thread: victim });
+                        };
+                        // Credit whole iterations completed before the
+                        // fault; the in-flight remainder is lost and
+                        // re-queued.
+                        let done = if now <= since {
+                            0
+                        } else {
+                            ((now - since) / rate).min(remaining)
+                        };
+                        self.cgra_iterations += done;
+                        let left = remaining - done;
+                        self.fstats.iterations_deferred += left;
+                        self.q.bump(victim);
+                        self.mode[victim] = Mode::Waiting {
+                            kernel,
+                            iterations: left,
+                            enqueued: now,
+                        };
+                        self.queue.push_back(victim);
+                        self.fault_waiting[victim] = true;
+                    }
+                }
+                // A death can free surplus pages (chain rounding): let
+                // waiting threads in and regrow survivors.
+                self.redistribute(now)
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
         for t in 0..self.threads.len() {
             self.q.push(0, t);
             self.mode[t] = Mode::Advancing;
         }
         // Kick-off events advance each thread into its first segment.
-        while let Some(ev) = self.q.pop() {
+        // Two merged streams: thread events and fault events. Faults
+        // strictly before the next thread event go first (ties go to the
+        // thread event: a kernel finishing at t completes before a page
+        // dying at t), and must be applied before *popping* — a fault
+        // bumps versions and can invalidate the event we would have
+        // popped. Faults also continue with no thread events pending:
+        // with every tenant revoked and queued, a later kill can still
+        // free surplus pages and unblock the queue.
+        loop {
+            let next_event = self.q.peek_time();
+            let next_fault = self.fault_events.get(self.fault_idx).copied();
+            let fault_due = match (next_event, next_fault) {
+                (None, None) => break,
+                (Some(te), Some(f)) => f.time < te,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+            };
+            if fault_due {
+                self.fault_idx += 1;
+                self.apply_fault(next_fault.expect("fault_due implies a fault"))?;
+                continue;
+            }
+            let Some(ev) = self.q.pop() else { continue };
             let t = ev.thread;
             match self.mode[t] {
-                Mode::Advancing => self.advance(t, ev.time),
-                Mode::OnCgra { .. } => self.finish_kernel(t, ev.time),
+                Mode::Advancing => self.advance(t, ev.time)?,
+                Mode::OnCgra { .. } => self.finish_kernel(t, ev.time)?,
                 Mode::Waiting { .. } | Mode::Done => {}
             }
-            debug_assert!(self.alloc.check_invariant());
+            if !self.alloc.check_invariant() {
+                return Err(SimError::InvariantViolated {
+                    detail: "allocation counts diverged from page identities".to_string(),
+                });
+            }
         }
+        // Faults can eat so much of the fabric that queued threads are
+        // never admitted again; report that instead of a silent zero
+        // finish time. (Impossible without faults: every queued thread
+        // is eventually served when a running thread finishes.)
+        for t in 0..self.threads.len() {
+            if self.mode[t] != Mode::Done {
+                return Err(SimError::Starved {
+                    thread: t,
+                    usable_pages: self.alloc.usable_pages(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -311,7 +495,23 @@ pub fn simulate_multithreaded(
     lib: &KernelLibrary,
     threads: &[ThreadSpec],
     cfg: MtConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
+    simulate_multithreaded_faulty(lib, threads, cfg, &[])
+}
+
+/// Simulate the multithreaded system under a fault schedule.
+///
+/// `faults` need not be sorted; events are applied in `(time, page)`
+/// order, each one strictly before any thread event at a later time.
+/// With an empty schedule this is exactly [`simulate_multithreaded`].
+pub fn simulate_multithreaded_faulty(
+    lib: &KernelLibrary,
+    threads: &[ThreadSpec],
+    cfg: MtConfig,
+    faults: &[FaultEvent],
+) -> Result<SimReport, SimError> {
+    let mut fault_events = faults.to_vec();
+    fault_events.sort_by_key(|f| (f.time, f.page));
     let mut sim = Sim {
         lib,
         threads,
@@ -322,6 +522,11 @@ pub fn simulate_multithreaded(
         finish: vec![0; threads.len()],
         alloc: Allocator::new(lib.num_pages),
         queue: VecDeque::new(),
+        fault_events,
+        fault_idx: 0,
+        faults: FaultMap::new(lib.num_pages),
+        fstats: FaultStats::default(),
+        fault_waiting: vec![false; threads.len()],
         cgra_iterations: 0,
         page_cycles: 0,
         pages_busy: 0,
@@ -330,8 +535,8 @@ pub fn simulate_multithreaded(
         expands: 0,
         stall_cycles: 0,
     };
-    sim.run();
-    SimReport {
+    sim.run()?;
+    Ok(SimReport {
         makespan: sim.finish.iter().copied().max().unwrap_or(0),
         thread_finish: sim.finish,
         cgra_iterations: sim.cgra_iterations,
@@ -339,7 +544,8 @@ pub fn simulate_multithreaded(
         shrinks: sim.shrinks,
         expands: sim.expands,
         stall_cycles: sim.stall_cycles,
-    }
+        faults: sim.fstats,
+    })
 }
 
 #[cfg(test)]
@@ -366,7 +572,7 @@ mod tests {
                 iterations: 50,
             }],
         };
-        let r = simulate_multithreaded(&lib, &[spec], MtConfig::default());
+        let r = simulate_multithreaded(&lib, &[spec], MtConfig::default()).unwrap();
         let ii = lib.profile(0).ii_constrained as u64;
         assert_eq!(r.makespan, 50 * ii);
         assert_eq!(r.shrinks, 0);
@@ -376,8 +582,8 @@ mod tests {
     fn deterministic() {
         let lib = lib(4);
         let w = generate(&lib, &WorkloadParams::default());
-        let a = simulate_multithreaded(&lib, &w, MtConfig::default());
-        let b = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let a = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
+        let b = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -394,7 +600,7 @@ mod tests {
                 iterations: 100,
             }],
         };
-        let r = simulate_multithreaded(&lib, &[spec.clone(), spec], MtConfig::default());
+        let r = simulate_multithreaded(&lib, &[spec.clone(), spec], MtConfig::default()).unwrap();
         assert_eq!(r.shrinks, 0, "unused-portion rule should serve both");
         let ii = lib.profile(small).ii_constrained as u64;
         assert_eq!(r.makespan, 100 * ii);
@@ -414,7 +620,7 @@ mod tests {
             },
         );
         let base = crate::baseline::simulate_baseline(&lib, &w);
-        let mt = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let mt = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
         let imp = improvement_percent(base.makespan, mt.makespan);
         assert!(
             imp > 20.0,
@@ -433,7 +639,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let zero = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let zero = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
         let heavy = simulate_multithreaded(
             &lib,
             &w,
@@ -441,7 +647,8 @@ mod tests {
                 switch_overhead: 1000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(heavy.makespan >= zero.makespan);
     }
 
@@ -457,7 +664,200 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        let r = simulate_multithreaded(&lib, &w, MtConfig::default());
+        let r = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
         assert_eq!(r.cgra_iterations, total);
+    }
+
+    #[test]
+    fn queued_thread_drains_when_capacity_frees() {
+        let lib = lib(4);
+        // Find a kernel wanting the whole array, so every arrival forces
+        // a shrink and the fifth request finds everyone at one page.
+        let big = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == lib.num_pages)
+            .expect("some kernel wants the whole 4x4");
+        let spec = |iters: u64| ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: big,
+                iterations: iters,
+            }],
+        };
+        // Threads 0..4 fill the fabric down to 1 page each; thread 4
+        // arrives with nothing shrinkable left and must queue until one
+        // of the others finishes.
+        let threads = [spec(200), spec(200), spec(200), spec(200), spec(50)];
+        let r = simulate_multithreaded(&lib, &threads, MtConfig::default()).unwrap();
+        assert!(r.stall_cycles > 0, "fifth thread should have waited: {r:?}");
+        assert!(r.thread_finish.iter().all(|&f| f > 0));
+        assert_eq!(r.shrinks, 3, "arrivals 1..3 each shrink a tenant");
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_identical_to_plain_path() {
+        let lib = lib(4);
+        let w = generate(&lib, &WorkloadParams::default());
+        let plain = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
+        let faulty = simulate_multithreaded_faulty(&lib, &w, MtConfig::default(), &[]).unwrap();
+        assert_eq!(plain, faulty);
+        assert!(!faulty.faults.any());
+    }
+
+    #[test]
+    fn page_death_shrinks_only_the_owner() {
+        let lib = lib(4);
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == 2)
+            .expect("some kernel wants half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 1000,
+            }],
+        };
+        // Two tenants at 2 pages each: thread 0 on pages {0,1}, thread 1
+        // on pages {2,3}. Kill page 0 mid-run: only thread 0 is remapped.
+        let ii = lib.profile(small).ii_constrained as u64;
+        let faults = [FaultEvent {
+            time: 100 * ii,
+            page: 0,
+            kind: FaultKind::Kill,
+        }];
+        let r = simulate_multithreaded_faulty(
+            &lib,
+            &[spec.clone(), spec],
+            MtConfig::default(),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(r.faults.injected, 1);
+        assert_eq!(r.faults.pages_killed, 1);
+        assert_eq!(r.faults.threads_remapped, 1);
+        assert_eq!(r.faults.threads_revoked, 0);
+        // Thread 1 is untouched: it finishes at its undisturbed rate.
+        assert_eq!(r.thread_finish[1], 1000 * ii);
+        // Thread 0 lost a page and must run slower from the fault on.
+        assert!(r.thread_finish[0] > 1000 * ii);
+        assert_eq!(r.cgra_iterations, 2000);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let lib = lib(4);
+        let w = generate(&lib, &WorkloadParams::default());
+        let faults = [
+            FaultEvent {
+                time: 5_000,
+                page: 1,
+                kind: FaultKind::Kill,
+            },
+            FaultEvent {
+                time: 9_000,
+                page: 3,
+                kind: FaultKind::Degrade,
+            },
+        ];
+        let a = simulate_multithreaded_faulty(&lib, &w, MtConfig::default(), &faults).unwrap();
+        let b = simulate_multithreaded_faulty(&lib, &w, MtConfig::default(), &faults).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn revoked_thread_requeues_and_completes() {
+        let lib = lib(4);
+        let big = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == lib.num_pages)
+            .expect("some kernel wants the whole 4x4");
+        let spec = |iters: u64| ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: big,
+                iterations: iters,
+            }],
+        };
+        // Four tenants at one page each; kill thread 0's page early. It
+        // is revoked, waits, and is re-admitted when a tenant finishes.
+        let threads = [spec(500), spec(100), spec(500), spec(500)];
+        let r = simulate_multithreaded_faulty(
+            &lib,
+            &threads,
+            MtConfig::default(),
+            &[FaultEvent {
+                time: 3,
+                page: 0,
+                kind: FaultKind::Kill,
+            }],
+        )
+        .unwrap();
+        assert_eq!(r.faults.threads_revoked, 1);
+        assert!(r.faults.iterations_deferred > 0);
+        assert!(r.faults.recovery_cycles > 0);
+        assert!(r.thread_finish.iter().all(|&f| f > 0), "{r:?}");
+    }
+
+    #[test]
+    fn killing_every_page_starves_typed() {
+        let lib = lib(4);
+        let big = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == lib.num_pages)
+            .expect("some kernel wants the whole 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: big,
+                iterations: 1_000_000,
+            }],
+        };
+        let faults: Vec<FaultEvent> = (0..4)
+            .map(|p| FaultEvent {
+                time: 10 + p as u64,
+                page: p,
+                kind: FaultKind::Kill,
+            })
+            .collect();
+        let err =
+            simulate_multithreaded_faulty(&lib, &[spec], MtConfig::default(), &faults).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Starved {
+                    usable_pages: 0,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn degrade_slows_only_while_holding_the_page() {
+        let lib = lib(4);
+        let big = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == lib.num_pages)
+            .expect("some kernel wants the whole 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: big,
+                iterations: 100,
+            }],
+        };
+        let ii = lib.profile(big).ii_constrained as u64;
+        let clean =
+            simulate_multithreaded(&lib, std::slice::from_ref(&spec), MtConfig::default()).unwrap();
+        let degraded = simulate_multithreaded_faulty(
+            &lib,
+            &[spec],
+            MtConfig::default(),
+            &[FaultEvent {
+                time: 10 * ii,
+                page: 2,
+                kind: FaultKind::Degrade,
+            }],
+        )
+        .unwrap();
+        assert_eq!(degraded.faults.pages_degraded, 1);
+        assert!(
+            degraded.makespan > clean.makespan,
+            "degraded page should slow the tenant: {} vs {}",
+            degraded.makespan,
+            clean.makespan
+        );
     }
 }

@@ -2,6 +2,48 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Counters for the fault-injection subsystem. All zero in a fault-free
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Fault events applied during the run.
+    pub injected: u64,
+    /// Pages that transitioned to dead.
+    pub pages_killed: u64,
+    /// Pages that transitioned to degraded (still usable, slower).
+    pub pages_degraded: u64,
+    /// Threads shrunk/remapped onto surviving pages by a page death.
+    pub threads_remapped: u64,
+    /// Threads that lost their last page and had to re-queue.
+    pub threads_revoked: u64,
+    /// Kernel iterations that were in flight when their pages died and
+    /// had to be re-run after re-admission.
+    pub iterations_deferred: u64,
+    /// Cycles from each fault to the moment the affected thread was
+    /// making progress again (remap boundary + switch overhead, or
+    /// re-admission from the queue).
+    pub recovery_cycles: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault was applied.
+    pub fn any(&self) -> bool {
+        self.injected > 0
+    }
+
+    /// Add `other`'s counters into `self` (sweep drivers aggregate the
+    /// per-seed counters of one point this way).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.pages_killed += other.pages_killed;
+        self.pages_degraded += other.pages_degraded;
+        self.threads_remapped += other.threads_remapped;
+        self.threads_revoked += other.threads_revoked;
+        self.iterations_deferred += other.iterations_deferred;
+        self.recovery_cycles += other.recovery_cycles;
+    }
+}
+
 /// Outcome of one simulated run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -20,6 +62,8 @@ pub struct SimReport {
     pub expands: u64,
     /// Cycles threads spent stalled waiting for CGRA pages.
     pub stall_cycles: u64,
+    /// Fault-injection counters (all zero when no faults were injected).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -77,8 +121,10 @@ mod tests {
             shrinks: 0,
             expands: 0,
             stall_cycles: 0,
+            faults: FaultStats::default(),
         };
         assert_eq!(r.mean_pages_busy(), 4.0);
+        assert!(!r.faults.any());
         assert_eq!(r.mean_finish(), 75.0);
     }
 }

@@ -20,7 +20,7 @@ fn main() {
 
     for kernel in cgra_mt::dfg::kernels::all() {
         let inputs = InputStreams::random(&kernel, iters, 0xC0FFEE);
-        let golden = interpret(&kernel, &inputs, iters);
+        let golden = interpret(&kernel, &inputs, iters).expect("interprets");
 
         let base = map_baseline(&kernel, &cgra, &opts).expect("baseline maps");
         let cons = map_constrained(&kernel, &cgra, &opts).expect("constrained maps");

@@ -45,7 +45,8 @@ fn main() {
                 },
             );
             let base = simulate_baseline(&lib, &workload);
-            let mt = simulate_multithreaded(&lib, &workload, MtConfig::default());
+            let mt =
+                simulate_multithreaded(&lib, &workload, MtConfig::default()).expect("simulates");
             println!(
                 "{threads:>7} | {:>5} | {:>13} | {:>11} | {:>+10.1}% | {:>7}",
                 need.label(),

@@ -89,7 +89,7 @@ fn main() {
         },
     );
     let fcfs = simulate_baseline(&lib, &workload);
-    let mt = simulate_multithreaded(&lib, &workload, MtConfig::default());
+    let mt = simulate_multithreaded(&lib, &workload, MtConfig::default()).expect("simulates");
     println!(
         "\n4 threads, 87.5% CGRA need: FCFS makespan {} vs multithreaded {} ({:+.1}%)",
         fcfs.makespan,

@@ -198,7 +198,8 @@ fn main() {
             let mapped = map_constrained(&dfg, &cgra, &MapOptions::default())
                 .unwrap_or_else(|e| fail(&format!("mapping failed: {e}")));
             let inputs = InputStreams::random(&dfg, iters, args.num("seed", 0u64));
-            let golden = interpret(&dfg, &inputs, iters);
+            let golden = interpret(&dfg, &inputs, iters)
+                .unwrap_or_else(|e| fail(&format!("interpretation failed: {e}")));
             let out = execute(
                 &mapped.mdfg,
                 cgra.mesh(),

@@ -226,7 +226,7 @@ carried acc acc 1
         let cgra = cgra_arch::CgraConfig::square(4);
         let mapped = map_constrained(&dfg, &cgra, &MapOptions::default()).unwrap();
         let inputs = cgra_exec::InputStreams::random(&dfg, 6, 1);
-        let golden = cgra_exec::interpret(&dfg, &inputs, 6);
+        let golden = cgra_exec::interpret(&dfg, &inputs, 6).unwrap();
         let out = cgra_exec::execute(
             &mapped.mdfg,
             cgra.mesh(),

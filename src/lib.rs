@@ -51,20 +51,24 @@ pub use cgra_sim as sim;
 
 /// The commonly-used surface in one import.
 pub mod prelude {
-    pub use cgra_arch::{CgraConfig, Mesh, Orientation, PageId, PeId};
+    pub use cgra_arch::{
+        CgraConfig, FaultKind, FaultMap, FaultSpec, Mesh, Orientation, PageHealth, PageId, PeId,
+    };
     pub use cgra_core::transform::{transform, Strategy};
     pub use cgra_core::{
-        fold_to_page, transform_block, transform_pagemaster, validate_fold, validate_plan,
-        PagedSchedule, ShrinkPlan,
+        fold_to_page, transform_block, transform_degraded, transform_pagemaster,
+        validate_degraded_plan, validate_fold, validate_plan, DegradedPlan, PagedSchedule,
+        ShrinkPlan,
     };
     pub use cgra_dfg::{Dfg, DfgBuilder, OpKind};
-    pub use cgra_exec::{execute, interpret, InputStreams, MachineSchedule};
+    pub use cgra_exec::{execute, interpret, ExecError, InputStreams, MachineSchedule};
     pub use cgra_mapper::{
         map_anneal, map_baseline, map_constrained, map_constrained_strict, validate_mapping,
         MapMode, MapOptions, MapResult,
     };
     pub use cgra_sim::{
-        generate, improvement_percent, simulate_baseline, simulate_multithreaded, CgraNeed,
-        KernelLibrary, MtConfig, WorkloadParams,
+        generate, improvement_percent, simulate_baseline, simulate_multithreaded,
+        simulate_multithreaded_faulty, CgraNeed, FaultStats, KernelLibrary, MtConfig, SimError,
+        WorkloadParams,
     };
 }

@@ -13,6 +13,7 @@ fn quick() -> Fig9Params {
         work_per_thread: 20_000,
         bursts: 2,
         mt: MtConfig::default(),
+        faults: cgra_arch::FaultSpec::Off,
     }
 }
 
@@ -43,9 +44,15 @@ fn fig8_large_pages_nearly_lossless() {
 fn fig9_improvement_grows_with_array_size() {
     let cache = LibCache::new();
     let p = quick();
-    let i4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &p).improvement_pct;
-    let i6 = run_point(&cache, 6, 4, CgraNeed::High, 16, &p).improvement_pct;
-    let i8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &p).improvement_pct;
+    let i4 = run_point(&cache, 4, 4, CgraNeed::High, 16, &p)
+        .unwrap()
+        .improvement_pct;
+    let i6 = run_point(&cache, 6, 4, CgraNeed::High, 16, &p)
+        .unwrap()
+        .improvement_pct;
+    let i8 = run_point(&cache, 8, 4, CgraNeed::High, 16, &p)
+        .unwrap()
+        .improvement_pct;
     assert!(
         i4 < i6 && i6 < i8,
         "not monotone: {i4:.0}% {i6:.0}% {i8:.0}%"
@@ -58,7 +65,7 @@ fn fig9_improvement_grows_with_array_size() {
 #[test]
 fn fig9_single_thread_pays_constraint_cost() {
     let cache = LibCache::new();
-    let p = run_point(&cache, 6, 2, CgraNeed::High, 1, &quick());
+    let p = run_point(&cache, 6, 2, CgraNeed::High, 1, &quick()).unwrap();
     assert!(p.improvement_pct <= 0.0, "got {:+.1}%", p.improvement_pct);
 }
 

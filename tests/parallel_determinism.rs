@@ -29,6 +29,7 @@ fn quick_params() -> Fig9Params {
         work_per_thread: 20_000,
         bursts: 2,
         mt: MtConfig::default(),
+        faults: cgra_arch::FaultSpec::Off,
     }
 }
 
@@ -45,7 +46,7 @@ fn fig9_reduced(engine: &Engine, cache: &LibCache) -> Vec<Fig9Point> {
         }
     }
     engine.run(&points, |&(dim, s, need, t)| {
-        fig9::run_point(cache, dim, s, need, t, &params)
+        fig9::run_point(cache, dim, s, need, t, &params).unwrap()
     })
 }
 

@@ -95,7 +95,7 @@ fn extra_kernels_survive_the_full_pipeline() {
         assert!(validate_plan(&paged, &plan).is_empty(), "{}", kernel.name);
         // Execute functionally.
         let inputs = InputStreams::random(&kernel, iters, 0xE57);
-        let golden = interpret(&kernel, &inputs, iters);
+        let golden = interpret(&kernel, &inputs, iters).unwrap();
         let out = execute(
             &mapped.mdfg,
             cgra.mesh(),

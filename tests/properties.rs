@@ -129,7 +129,7 @@ fn random_dfgs_execute_equivalently() {
         let opts = MapOptions::fast();
         let iters = 6;
         let inputs = InputStreams::random(&dfg, iters, seed);
-        let golden = interpret(&dfg, &inputs, iters);
+        let golden = interpret(&dfg, &inputs, iters).unwrap();
 
         for result in [
             map_baseline(&dfg, &cgra, &opts),
@@ -212,17 +212,22 @@ fn allocator_random_sequences_preserve_invariants() {
                     let want = chain[rng.gen_range(0..chain.len())];
                     let t = next_thread;
                     next_thread += 1;
-                    match a.request(t, want) {
+                    match a.request(t, want).unwrap() {
                         RequestOutcome::Granted { pages } => {
                             assert!(pages <= want, "step {step}: granted beyond want");
                             shadow.owned.insert(t, pages);
                         }
                         RequestOutcome::Shrunk {
                             victim,
+                            victim_was,
                             victim_pages,
                             pages,
                         } => {
                             let before = shadow.owned[&victim];
+                            assert_eq!(
+                                victim_was, before,
+                                "step {step}: victim_was disagrees with the shadow"
+                            );
                             assert!(
                                 victim_pages < before,
                                 "step {step}: shrink did not shrink ({before} -> {victim_pages})"
@@ -251,7 +256,7 @@ fn allocator_random_sequences_preserve_invariants() {
                     else {
                         continue;
                     };
-                    let freed = a.release(t);
+                    let freed = a.release(t).unwrap();
                     assert_eq!(freed, shadow.owned.remove(&t).unwrap());
                 }
                 // Expand under a random policy; growth only, chain only.
@@ -261,15 +266,23 @@ fn allocator_random_sequences_preserve_invariants() {
                         ExpandPolicy::LargestFirst,
                         ExpandPolicy::None,
                     ][rng.gen_range(0..3usize)];
-                    let grown = a.expand(policy, |_| n);
+                    let grown = a.expand(policy, |_| n).unwrap();
                     assert!(
                         policy != ExpandPolicy::None || grown.is_empty(),
                         "step {step}: ExpandPolicy::None expanded"
                     );
-                    for (t, p) in grown {
-                        let before = shadow.owned[&t];
-                        assert!(p > before, "step {step}: expand shrank thread {t}");
-                        shadow.owned.insert(t, p);
+                    for g in grown {
+                        let before = shadow.owned[&g.thread];
+                        assert_eq!(
+                            g.from_pages, before,
+                            "step {step}: from_pages disagrees with the shadow"
+                        );
+                        assert!(
+                            g.to_pages > before,
+                            "step {step}: expand shrank thread {}",
+                            g.thread
+                        );
+                        shadow.owned.insert(g.thread, g.to_pages);
                     }
                 }
             }
@@ -279,13 +292,13 @@ fn allocator_random_sequences_preserve_invariants() {
         // Freed pages are reusable: drain everything, then one thread can
         // claim the whole fabric again.
         for t in shadow.owned.keys().copied().collect::<Vec<_>>() {
-            a.release(t);
+            a.release(t).unwrap();
             shadow.owned.remove(&t);
         }
         shadow.check(&a, usize::MAX);
         assert_eq!(a.free_pages(), n);
         assert_eq!(
-            a.request(next_thread, n),
+            a.request(next_thread, n).unwrap(),
             RequestOutcome::Granted { pages: n },
             "full fabric not reusable after drain (N={n})"
         );
@@ -301,9 +314,9 @@ fn allocator_expand_respects_want_caps() {
         let chain = cgra_mt::sim::halving_chain(n);
         for &cap in &chain {
             let mut a = Allocator::new(n);
-            a.request(0, chain[chain.len() - 1]); // start at 1 page
+            a.request(0, chain[chain.len() - 1]).unwrap(); // start at 1 page
             loop {
-                let grown = a.expand(ExpandPolicy::SmallestFirst, |_| cap);
+                let grown = a.expand(ExpandPolicy::SmallestFirst, |_| cap).unwrap();
                 if grown.is_empty() {
                     break;
                 }
@@ -330,7 +343,7 @@ fn simulator_agrees_with_hand_computation() {
         }],
     };
     let base = simulate_baseline(&lib, std::slice::from_ref(&spec));
-    let mt = simulate_multithreaded(&lib, &[spec], MtConfig::default());
+    let mt = simulate_multithreaded(&lib, &[spec], MtConfig::default()).unwrap();
     assert_eq!(base.makespan, 7 * lib.profile(0).ii_baseline as u64);
     assert_eq!(mt.makespan, 7 * lib.profile(0).ii_constrained as u64);
 }
@@ -350,7 +363,7 @@ fn multithreaded_never_stalls_forever() {
             seed: 5,
         },
     );
-    let r = simulate_multithreaded(&lib, &w, MtConfig::default());
+    let r = simulate_multithreaded(&lib, &w, MtConfig::default()).unwrap();
     assert_eq!(r.thread_finish.len(), 16);
     assert!(r.thread_finish.iter().all(|&f| f > 0));
 }
