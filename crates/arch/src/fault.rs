@@ -604,6 +604,93 @@ mod tests {
     }
 
     #[test]
+    fn spec_display_parse_round_trips_exhaustively() {
+        // Property sweep over an enumerated spec family: every member
+        // must survive Display → parse unchanged, including the extreme
+        // field values the hand-picked cases above never reach.
+        let mut specs = vec![FaultSpec::Off];
+        for kind in [FaultKind::Kill, FaultKind::Degrade] {
+            for time in [0u64, 1, 999, u64::MAX] {
+                for page in [0u16, 1, 7, u16::MAX] {
+                    specs.push(FaultSpec::At { time, page, kind });
+                }
+            }
+            for mean in [1u64, 500, u64::MAX] {
+                for count in [0u32, 1, u32::MAX] {
+                    for seed in [0u64, 42, u64::MAX] {
+                        specs.push(FaultSpec::Mtbf {
+                            mean,
+                            count,
+                            seed,
+                            kind,
+                        });
+                    }
+                }
+            }
+        }
+        for spec in specs {
+            let shown = spec.to_string();
+            assert_eq!(FaultSpec::parse(&shown), Ok(spec), "via {shown:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_and_reseeded_schedules_stay_deterministic() {
+        // Derivation laws over a small grid of fabrics and factors:
+        // deriving a spec is pure (equal schedules on repeat), scaling
+        // preserves the fault count and never stretches the timeline,
+        // reseeding with 0 is the identity and reseeding twice with the
+        // same salt undoes itself.
+        let base = FaultSpec::Mtbf {
+            mean: 8_000,
+            count: 8,
+            seed: 5,
+            kind: FaultKind::Kill,
+        };
+        assert_eq!(base.reseeded(0), base);
+        for pages in [1u16, 4, 9] {
+            let reference = base.schedule(pages);
+            for factor in [1u64, 2, 8, 1_000_000] {
+                let scaled = base.scaled(factor);
+                let a = scaled.schedule(pages);
+                assert_eq!(a, scaled.schedule(pages), "pages={pages} x{factor}");
+                assert_eq!(a.len(), reference.len(), "scaling must keep the count");
+                assert!(
+                    a.last().unwrap().time <= reference.last().unwrap().time,
+                    "pages={pages} x{factor}: scaling up the rate stretched the timeline"
+                );
+                // Same seed stream: the struck pages are unchanged, only
+                // the arrival times compress.
+                let struck = |evs: &[FaultEvent]| {
+                    let mut p: Vec<u16> = evs.iter().map(|e| e.page).collect();
+                    p.sort_unstable();
+                    p
+                };
+                assert_eq!(struck(&a), struck(&reference));
+            }
+            for salt in [0u64, 1, 0xDEAD_BEEF] {
+                let reseeded = base.reseeded(salt);
+                assert_eq!(
+                    reseeded.schedule(pages),
+                    reseeded.schedule(pages),
+                    "pages={pages} salt={salt}"
+                );
+                assert_eq!(reseeded.reseeded(salt), base, "reseed is an involution");
+            }
+        }
+        // Off and At specs pass through both derivations unchanged.
+        let at = FaultSpec::At {
+            time: 7,
+            page: 1,
+            kind: FaultKind::Degrade,
+        };
+        for spec in [FaultSpec::Off, at] {
+            assert_eq!(spec.scaled(8), spec);
+            assert_eq!(spec.reseeded(99), spec);
+        }
+    }
+
+    #[test]
     fn scaling_divides_the_mtbf() {
         let spec = FaultSpec::parse("mtbf=8000,count=2,seed=0").unwrap();
         match spec.scaled(4) {

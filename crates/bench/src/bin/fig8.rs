@@ -10,19 +10,25 @@
 //!                 output is byte-identical for every N
 //!   --no-cache    recompute every mapping; neither read nor write
 //!                 target/mapcache
+//!   --trace PATH  append every mapper/transform event to PATH as JSONL
+//!                 (cache hits emit nothing; pair with --no-cache for a
+//!                 complete trace)
+//!   --metrics     print event counters after the sweep
 
 use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig8;
 use cgra_bench::mapcache::MapCache;
+use cgra_bench::obsflags::ObsFlags;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = EngineConfig::from_args(&args);
     let engine = Engine::new(cfg);
+    let obs = ObsFlags::from_args(&args);
     let cache = if cfg.use_cache {
-        MapCache::persistent()
+        MapCache::persistent().traced(obs.tracer.clone())
     } else {
-        MapCache::disabled()
+        MapCache::disabled().traced(obs.tracer.clone())
     };
 
     if args.iter().any(|a| a == "--strict") {
@@ -37,6 +43,7 @@ fn main() {
             );
         }
         eprintln!("mapcache: {:?}", cache.stats());
+        obs.finish();
         return;
     }
     let points = fig8::run_all_with(&engine, &cache);
@@ -71,6 +78,7 @@ fn main() {
                 &rows
             )
         );
+        obs.finish();
         return;
     }
 
@@ -82,4 +90,5 @@ fn main() {
     for (dim, size, gm) in fig8::summary(&points) {
         println!("{dim}x{dim}  page {size:>2}: {gm:6.1}%");
     }
+    obs.finish();
 }

@@ -17,17 +17,23 @@
 //!                         capped 16); output is byte-identical for all N
 //!   --no-cache            recompute every mapping; neither read nor
 //!                         write target/mapcache
+//!   --trace PATH          append every mapper/transform/simulator event
+//!                         to PATH as JSONL (replayable by trace_oracle)
+//!   --metrics             print event counters and cycle histograms
+//!                         after the sweep
 
 use cgra_arch::FaultSpec;
 use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig9::{self, Fig9Params};
 use cgra_bench::libcache::LibCache;
+use cgra_bench::obsflags::ObsFlags;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = EngineConfig::from_args(&args);
     let engine = Engine::new(cfg);
-    let cache = LibCache::for_config(cfg);
+    let obs = ObsFlags::from_args(&args);
+    let cache = LibCache::for_config_traced(cfg, obs.tracer.clone());
 
     let mut params = Fig9Params::default();
     if args.iter().any(|a| a == "--smoke") {
@@ -42,6 +48,7 @@ fn main() {
         for (overhead, imp) in fig9::ablation_overhead(&cache, 8, 4) {
             println!("{overhead:>8}, {imp:+.1}%");
         }
+        obs.finish();
         return;
     }
     if args.iter().any(|a| a == "--ablation-policy") {
@@ -49,6 +56,7 @@ fn main() {
         for (name, imp) in fig9::ablation_policy(&cache, 8, 4) {
             println!("{name:>16}: {imp:+.1}%");
         }
+        obs.finish();
         return;
     }
 
@@ -71,14 +79,16 @@ fn main() {
             println!(
                 "## Degradation curve — faults `{base}` (8x8, page 4, 8 threads, need 87.5%)\n"
             );
-            let curve = fig9::degradation_curve(&engine, &cache, 8, 4, base, &params);
+            let curve =
+                fig9::degradation_curve_traced(&engine, &cache, 8, 4, base, &params, &obs.tracer);
             println!("{}", fig9::render_curve(&curve));
             eprintln!("mapcache: {:?}", cache.map_cache().stats());
+            obs.finish();
             return;
         }
     }
 
-    let results = fig9::run_all_with(&engine, &cache, &params);
+    let results = fig9::run_all_with_traced(&engine, &cache, &params, &obs.tracer);
     // Cache statistics go to stderr so stdout stays byte-deterministic.
     eprintln!("mapcache: {:?}", cache.map_cache().stats());
     let (points, errors) = fig9::partition_results(results);
@@ -114,6 +124,7 @@ fn main() {
                 &rows
             )
         );
+        obs.finish();
         if !errors.is_empty() {
             std::process::exit(1);
         }
@@ -128,6 +139,7 @@ fn main() {
     for (dim, best) in fig9::headline(&points) {
         println!("{dim}x{dim}: best improvement at 16 threads = {best:+.1}%");
     }
+    obs.finish();
     if !errors.is_empty() {
         std::process::exit(1);
     }

@@ -16,9 +16,10 @@
 use crate::engine::{point_seed, Engine};
 use crate::libcache::LibCache;
 use cgra_arch::FaultSpec;
+use cgra_obs::Tracer;
 use cgra_sim::{
-    generate, improvement_percent, simulate_baseline, simulate_multithreaded_faulty, CgraNeed,
-    ExpandPolicy, FaultStats, MtConfig, SimError, WorkloadParams,
+    generate, improvement_percent, simulate_baseline, simulate_multithreaded_faulty_traced,
+    CgraNeed, ExpandPolicy, FaultStats, MtConfig, SimError, WorkloadParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -91,42 +92,63 @@ pub fn run_point(
     threads: usize,
     params: &Fig9Params,
 ) -> Result<Fig9Point, SimError> {
+    run_point_traced(cache, dim, page_size, need, threads, params, &Tracer::off())
+}
+
+/// [`run_point`] with every multithreaded run of the point emitted to
+/// `tracer` (the baseline FCFS runs stay untraced — they are the fixed
+/// reference). The point's whole seed loop is forwarded as one batch, so
+/// parallel sweep points writing to a shared sink interleave at point
+/// granularity, never mid-run.
+pub fn run_point_traced(
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    need: CgraNeed,
+    threads: usize,
+    params: &Fig9Params,
+    tracer: &Tracer,
+) -> Result<Fig9Point, SimError> {
     let lib = cache.get(dim, page_size);
     let mut improvements = Vec::with_capacity(params.seeds as usize);
     let mut shrinks = 0.0;
     let mut base_total = 0.0;
     let mut mt_total = 0.0;
     let mut faults = FaultStats::default();
-    for seed in 0..params.seeds {
-        // Seeded from the point's coordinates only — never from worker
-        // identity or execution order (the engine's determinism
-        // contract).
-        let wl_seed = point_seed(&[
-            dim as u64,
-            page_size as u64,
-            need as u64,
-            threads as u64,
-            seed,
-        ]);
-        let workload = generate(
-            &lib,
-            &WorkloadParams {
-                threads,
-                need,
-                work_per_thread: params.work_per_thread,
-                bursts: params.bursts,
-                seed: wl_seed,
-            },
-        );
-        let events = params.faults.reseeded(wl_seed).schedule(lib.num_pages);
-        let base = simulate_baseline(&lib, &workload);
-        let mt = simulate_multithreaded_faulty(&lib, &workload, params.mt, &events)?;
-        improvements.push(improvement_percent(base.makespan, mt.makespan));
-        shrinks += mt.shrinks as f64;
-        base_total += base.makespan as f64;
-        mt_total += mt.makespan as f64;
-        faults.absorb(&mt.faults);
-    }
+    tracer.batched(|tracer| -> Result<(), SimError> {
+        for seed in 0..params.seeds {
+            // Seeded from the point's coordinates only — never from worker
+            // identity or execution order (the engine's determinism
+            // contract).
+            let wl_seed = point_seed(&[
+                dim as u64,
+                page_size as u64,
+                need as u64,
+                threads as u64,
+                seed,
+            ]);
+            let workload = generate(
+                &lib,
+                &WorkloadParams {
+                    threads,
+                    need,
+                    work_per_thread: params.work_per_thread,
+                    bursts: params.bursts,
+                    seed: wl_seed,
+                },
+            );
+            let events = params.faults.reseeded(wl_seed).schedule(lib.num_pages);
+            let base = simulate_baseline(&lib, &workload);
+            let mt =
+                simulate_multithreaded_faulty_traced(&lib, &workload, params.mt, &events, tracer)?;
+            improvements.push(improvement_percent(base.makespan, mt.makespan));
+            shrinks += mt.shrinks as f64;
+            base_total += base.makespan as f64;
+            mt_total += mt.makespan as f64;
+            faults.absorb(&mt.faults);
+        }
+        Ok(())
+    })?;
     let n = params.seeds as f64;
     Ok(Fig9Point {
         dim,
@@ -151,6 +173,19 @@ pub fn run_all_with(
     cache: &LibCache,
     params: &Fig9Params,
 ) -> Vec<Result<Fig9Point, SimError>> {
+    run_all_with_traced(engine, cache, params, &Tracer::off())
+}
+
+/// [`run_all_with`] with every point's multithreaded runs emitted to
+/// `tracer` (each point one contiguous batch; see [`run_point_traced`]).
+/// Compile events reach the trace only if `cache` itself was built over
+/// a traced [`MapCache`](crate::mapcache::MapCache).
+pub fn run_all_with_traced(
+    engine: &Engine,
+    cache: &LibCache,
+    params: &Fig9Params,
+    tracer: &Tracer,
+) -> Vec<Result<Fig9Point, SimError>> {
     // Phase 1: compile every fabric's library. Parallel across configs;
     // the mapping cache deduplicates shared per-kernel profiles, so no
     // compilation happens twice even when two configs race.
@@ -174,7 +209,7 @@ pub fn run_all_with(
         }
     }
     engine.run(&points, |&(dim, s, need, t)| {
-        run_point(cache, dim, s, need, t, params)
+        run_point_traced(cache, dim, s, need, t, params, tracer)
     })
 }
 
@@ -313,6 +348,21 @@ pub fn degradation_curve(
     base: FaultSpec,
     params: &Fig9Params,
 ) -> Vec<(u64, FaultSpec, Result<Fig9Point, SimError>)> {
+    degradation_curve_traced(engine, cache, dim, page_size, base, params, &Tracer::off())
+}
+
+/// [`degradation_curve`] with every row's multithreaded runs emitted to
+/// `tracer` (one contiguous batch per row; see [`run_point_traced`]).
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub fn degradation_curve_traced(
+    engine: &Engine,
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    base: FaultSpec,
+    params: &Fig9Params,
+    tracer: &Tracer,
+) -> Vec<(u64, FaultSpec, Result<Fig9Point, SimError>)> {
     cache.get(dim, page_size); // compile once, outside the sweep
     let rows: Vec<(u64, FaultSpec)> = CURVE_SCALES
         .iter()
@@ -330,7 +380,15 @@ pub fn degradation_curve(
             faults: spec,
             ..*params
         };
-        run_point(cache, dim, page_size, CgraNeed::High, 8, &row_params)
+        run_point_traced(
+            cache,
+            dim,
+            page_size,
+            CgraNeed::High,
+            8,
+            &row_params,
+            tracer,
+        )
     });
     rows.into_iter()
         .zip(results)

@@ -15,9 +15,12 @@
 //! * [`mapcache`] — content-keyed mapping / II-table cache, optionally
 //!   persisted to `target/mapcache` (`--no-cache` disables it).
 //! * [`libcache`] — compiled kernel-library facade over the map cache.
-//! * [`jsonio`] — dependency-free JSON codec backing the disk cache.
+//! * [`jsonio`] — dependency-free JSON codec backing the disk cache
+//!   (re-exported from `cgra-obs`, which also uses it for JSONL traces).
 //! * [`microbench`] — minimal wall-clock benchmark harness for the
 //!   `benches/` targets.
+//! * [`obsflags`] — `--trace <path>` / `--metrics` flag handling shared
+//!   by the figure binaries (JSONL traces, folded metrics).
 //! * [`table`] — plain-text/markdown table rendering.
 
 #![warn(missing_docs)]
@@ -26,10 +29,11 @@
 pub mod engine;
 pub mod fig8;
 pub mod fig9;
-pub mod jsonio;
+pub use cgra_obs::jsonio;
 pub mod libcache;
 pub mod mapcache;
 pub mod microbench;
+pub mod obsflags;
 pub mod table;
 
 /// The paper's experimental grid: `(dimension, page sizes)` per §VII-A.

@@ -13,6 +13,7 @@ use crate::engine::EngineConfig;
 use crate::mapcache::MapCache;
 use cgra_arch::CgraConfig;
 use cgra_mapper::MapOptions;
+use cgra_obs::Tracer;
 use cgra_sim::KernelLibrary;
 use std::sync::Arc;
 
@@ -46,10 +47,17 @@ impl LibCache {
     /// `target/mapcache` normally, recompute-everything when the user
     /// passed `--no-cache`.
     pub fn for_config(cfg: EngineConfig) -> Self {
+        Self::for_config_traced(cfg, Tracer::off())
+    }
+
+    /// [`for_config`](Self::for_config) with compilations emitted to
+    /// `tracer` (cache hits emit nothing — see
+    /// [`MapCache::traced`](crate::mapcache::MapCache::traced)).
+    pub fn for_config_traced(cfg: EngineConfig, tracer: Tracer) -> Self {
         if cfg.use_cache {
-            Self::over(MapCache::persistent())
+            Self::over(MapCache::persistent().traced(tracer))
         } else {
-            Self::over(MapCache::disabled())
+            Self::over(MapCache::disabled().traced(tracer))
         }
     }
 

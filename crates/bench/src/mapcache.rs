@@ -38,6 +38,7 @@ use crate::jsonio::Json;
 use cgra_arch::CgraConfig;
 use cgra_dfg::Dfg;
 use cgra_mapper::MapOptions;
+use cgra_obs::Tracer;
 use cgra_sim::{KernelLibrary, KernelProfile};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -113,6 +114,11 @@ pub struct MapCache {
     /// When false, every lookup recomputes and nothing is stored — the
     /// `--no-cache` mode, and the uncached arm of the determinism test.
     enabled: bool,
+    /// Receives mapper/transform events for every *compilation* (memory
+    /// and disk hits emit nothing — the search they would describe never
+    /// ran). Each profile's events are forwarded as one contiguous batch,
+    /// so traces stay segment-ordered even under concurrent misses.
+    tracer: Tracer,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
@@ -136,6 +142,7 @@ impl MapCache {
             libraries: RwLock::new(HashMap::new()),
             disk_dir,
             enabled,
+            tracer: Tracer::off(),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -167,6 +174,14 @@ impl MapCache {
         Self::with(None, false)
     }
 
+    /// Emit mapper/transform events for every compilation to `tracer`.
+    /// Cache hits (memory or disk) emit nothing: the events describe a
+    /// search, and a hit means no search ran.
+    pub fn traced(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -196,7 +211,7 @@ impl MapCache {
         };
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(compile(dfg, cgra, opts));
+            return Arc::new(compile(dfg, cgra, opts, &self.tracer));
         }
         let cell = self.cell(&key);
         if let Some(hit) = cell.get() {
@@ -209,7 +224,7 @@ impl MapCache {
                 return Arc::new(profile);
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let profile = compile(dfg, cgra, opts);
+            let profile = compile(dfg, cgra, opts, &self.tracer);
             self.store(&key, &profile);
             Arc::new(profile)
         })
@@ -297,9 +312,13 @@ impl Default for MapCache {
     }
 }
 
-fn compile(dfg: &Dfg, cgra: &CgraConfig, opts: &MapOptions) -> KernelProfile {
-    KernelProfile::compile(dfg, cgra, opts)
-        .unwrap_or_else(|e| panic!("profile {} on {:?}: {e}", dfg.name, cgra))
+fn compile(dfg: &Dfg, cgra: &CgraConfig, opts: &MapOptions, tracer: &Tracer) -> KernelProfile {
+    // Batched so concurrent misses interleave at whole-profile
+    // granularity in a shared sink, never event-by-event.
+    tracer.batched(|t| {
+        KernelProfile::compile_traced(dfg, cgra, opts, t)
+            .unwrap_or_else(|e| panic!("profile {} on {:?}: {e}", dfg.name, cgra))
+    })
 }
 
 fn mesh_dim(cgra: &CgraConfig) -> u16 {

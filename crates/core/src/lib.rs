@@ -50,5 +50,5 @@ pub use degrade::{transform_degraded, DegradedPlan};
 pub use fold::{fold_to_page, validate_fold, FoldedSchedule};
 pub use paged::{Discipline, PageDep, PagedSchedule};
 pub use pagemaster::{transform_pagemaster, transform_pagemaster_degraded};
-pub use transform::{transform_block, ShrinkPlan, Strategy, TransformError};
+pub use transform::{transform_block, transform_traced, ShrinkPlan, Strategy, TransformError};
 pub use validate::{is_slot_optimal, validate_degraded_plan, validate_plan, TransformViolation};

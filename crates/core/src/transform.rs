@@ -21,6 +21,7 @@
 //!   `II_q` toward `⌈N·II_p/M⌉`.
 
 use crate::paged::{Discipline, PagedSchedule};
+use cgra_obs::{TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -208,6 +209,34 @@ pub fn transform(
             }
         }
     }
+}
+
+/// [`transform`] with the page geometry emitted to `tracer`: a
+/// `TransformBegin` carrying the source shape (`n`, `ii`, requested
+/// strategy) and, on success, a `TransformEnd` carrying the produced
+/// plan's period/span and effective II.
+pub fn transform_traced(
+    p: &PagedSchedule,
+    m: u16,
+    strategy: Strategy,
+    tracer: &Tracer,
+) -> Result<ShrinkPlan, TransformError> {
+    tracer.emit(|| TraceEvent::TransformBegin {
+        kernel: p.name.clone(),
+        n: p.num_pages,
+        m,
+        ii: p.ii,
+        strategy: format!("{strategy:?}"),
+    });
+    let plan = transform(p, m, strategy)?;
+    tracer.emit(|| TraceEvent::TransformEnd {
+        kernel: p.name.clone(),
+        m: plan.m,
+        period: plan.period,
+        span: plan.span,
+        ii_q_ceil: plan.ii_q_ceil(),
+    });
+    Ok(plan)
 }
 
 #[cfg(test)]

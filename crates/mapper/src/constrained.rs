@@ -15,7 +15,7 @@
 //!    spills are chosen adaptively from routing-failure statistics.
 
 use crate::ems::MapResult;
-use crate::engine::{schedule, FailureStats};
+use crate::engine::{schedule_from_traced, FailureStats};
 use crate::error::MapError;
 use crate::mapping::MapMode;
 use crate::opts::MapOptions;
@@ -23,6 +23,7 @@ use crate::spill::MapDfg;
 use cgra_arch::CgraConfig;
 use cgra_dfg::analysis::sccs;
 use cgra_dfg::graph::Dfg;
+use cgra_obs::Tracer;
 use std::collections::BTreeSet;
 
 /// Pre-spill heuristic: loop-carried edges that are not part of a
@@ -71,7 +72,24 @@ pub fn map_constrained(
     cgra: &CgraConfig,
     opts: &MapOptions,
 ) -> Result<MapResult, MapError> {
-    map_with_mode(dfg, cgra, opts, MapMode::Constrained, BTreeSet::new())
+    map_constrained_traced(dfg, cgra, opts, &Tracer::off())
+}
+
+/// [`map_constrained`] with the search's decisions emitted to `tracer`.
+pub fn map_constrained_traced(
+    dfg: &Dfg,
+    cgra: &CgraConfig,
+    opts: &MapOptions,
+    tracer: &Tracer,
+) -> Result<MapResult, MapError> {
+    map_with_mode(
+        dfg,
+        cgra,
+        opts,
+        MapMode::Constrained,
+        BTreeSet::new(),
+        tracer,
+    )
 }
 
 /// Map a kernel under the strict 1-step discipline, producing purely
@@ -88,6 +106,7 @@ pub fn map_constrained_strict(
         opts,
         MapMode::ConstrainedStrict,
         pre_spill_set(dfg),
+        &Tracer::off(),
     )
 }
 
@@ -97,12 +116,13 @@ fn map_with_mode(
     opts: &MapOptions,
     mode: MapMode,
     initial_spills: BTreeSet<usize>,
+    tracer: &Tracer,
 ) -> Result<MapResult, MapError> {
     let mut spilled = initial_spills;
     let mut last_err = None;
     for _round in 0..=opts.spill_rounds {
         let mdfg = MapDfg::with_spills(dfg, &spilled);
-        let out = schedule(&mdfg, cgra, mode, opts);
+        let out = schedule_from_traced(&mdfg, cgra, mode, opts, None, tracer);
         match out.mapping {
             Ok(mapping) => {
                 return Ok(MapResult {

@@ -2,13 +2,14 @@
 //! compiler based on the EMS mapping algorithm") used to establish the
 //! baseline II for every kernel.
 
-use crate::engine::{mii_with_mem, schedule};
+use crate::engine::{mii_with_mem, schedule_from_traced};
 use crate::error::MapError;
 use crate::mapping::{MapMode, Mapping};
 use crate::opts::MapOptions;
 use crate::spill::MapDfg;
 use cgra_arch::CgraConfig;
 use cgra_dfg::graph::Dfg;
+use cgra_obs::Tracer;
 
 /// A finished mapping plus the graph it actually placed (identical to the
 /// kernel for the baseline; spill-augmented for the constrained mapper).
@@ -35,8 +36,18 @@ pub fn map_baseline(
     cgra: &CgraConfig,
     opts: &MapOptions,
 ) -> Result<MapResult, MapError> {
+    map_baseline_traced(dfg, cgra, opts, &Tracer::off())
+}
+
+/// [`map_baseline`] with the search's decisions emitted to `tracer`.
+pub fn map_baseline_traced(
+    dfg: &Dfg,
+    cgra: &CgraConfig,
+    opts: &MapOptions,
+    tracer: &Tracer,
+) -> Result<MapResult, MapError> {
     let mdfg = MapDfg::unspilled(dfg);
-    let out = schedule(&mdfg, cgra, MapMode::Baseline, opts);
+    let out = schedule_from_traced(&mdfg, cgra, MapMode::Baseline, opts, None, tracer);
     out.mapping.map(|mapping| MapResult {
         mapping,
         mdfg,

@@ -17,6 +17,7 @@ use crate::route::{route_baseline, route_ring, route_strict, RoutePlan, RouteReq
 use crate::spill::MapDfg;
 use cgra_arch::CgraConfig;
 use cgra_dfg::graph::NodeId;
+use cgra_obs::{TraceEvent, Tracer};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -364,8 +365,9 @@ impl<'a> Attempt<'a> {
         true
     }
 
-    /// Place every node in `order`; true on success.
-    fn run(&mut self, order: &[NodeId], asap: &[u32], rng: &mut StdRng) -> bool {
+    /// Place every node in `order`; `Err` carries the node that could
+    /// not be placed (the backtrack point).
+    fn run(&mut self, order: &[NodeId], asap: &[u32], rng: &mut StdRng) -> Result<(), NodeId> {
         for &v in order {
             if !self.place_node(v, asap, rng) {
                 // Opt-in diagnostics for mapper tuning.
@@ -394,10 +396,10 @@ impl<'a> Attempt<'a> {
                         }
                     }
                 }
-                return false;
+                return Err(v);
             }
         }
-        true
+        Ok(())
     }
 
     /// How many pages the kernel actually needs: enough PE slots for all
@@ -561,6 +563,26 @@ pub fn schedule_from(
     opts: &MapOptions,
     start_ii: Option<u32>,
 ) -> ScheduleOutcome {
+    schedule_from_traced(mdfg, cgra, mode, opts, start_ii, &Tracer::off())
+}
+
+/// Like [`schedule_from`], emitting the search's decisions — begin,
+/// backtracks, validator evictions, final placements/routes, end — to
+/// `tracer`. With the tracer off this *is* [`schedule_from`]: events are
+/// never constructed.
+pub fn schedule_from_traced(
+    mdfg: &MapDfg,
+    cgra: &CgraConfig,
+    mode: MapMode,
+    opts: &MapOptions,
+    start_ii: Option<u32>,
+    tracer: &Tracer,
+) -> ScheduleOutcome {
+    tracer.emit(|| TraceEvent::MapBegin {
+        kernel: mdfg.dfg.name.clone(),
+        ops: mdfg.dfg.num_nodes() as u32,
+        mode: format!("{mode:?}"),
+    });
     let mii = mii_with_mem(mdfg, cgra);
     let lo = start_ii.unwrap_or(mii).max(mii);
     let hi = mii + opts.max_ii_slack;
@@ -597,36 +619,74 @@ pub fn schedule_from(
             // kernels pack better page-major (bus-heavy), others
             // time-major (dependence-heavy).
             attempt.time_major = restart % 2 == 1;
-            if attempt.run(&order, &asap, &mut rng) {
-                let mapping = Mapping {
-                    ii,
-                    placements: attempt
-                        .placed
-                        .into_iter()
-                        .map(|p| p.expect("all nodes placed on success"))
-                        .collect(),
-                    routes: attempt
-                        .routes
-                        .into_iter()
-                        .map(|r| r.unwrap_or_default())
-                        .collect(),
-                };
-                // Acceptance gate: the engine does not track RF pressure
-                // incrementally (waiting values accumulate per PE), so a
-                // "successful" attempt can still overflow a register
-                // file. Re-check everything with the independent
-                // validator; on failure, roll the dice again.
-                let violations = crate::mapping::validate_mapping(mdfg, cgra, &mapping, mode);
-                if violations.is_empty() {
-                    return ScheduleOutcome {
-                        mapping: Ok(mapping),
-                        stats,
+            match attempt.run(&order, &asap, &mut rng) {
+                Ok(()) => {
+                    let mapping = Mapping {
+                        ii,
+                        placements: attempt
+                            .placed
+                            .into_iter()
+                            .map(|p| p.expect("all nodes placed on success"))
+                            .collect(),
+                        routes: attempt
+                            .routes
+                            .into_iter()
+                            .map(|r| r.unwrap_or_default())
+                            .collect(),
                     };
+                    // Acceptance gate: the engine does not track RF pressure
+                    // incrementally (waiting values accumulate per PE), so a
+                    // "successful" attempt can still overflow a register
+                    // file. Re-check everything with the independent
+                    // validator; on failure, roll the dice again.
+                    let violations = crate::mapping::validate_mapping(mdfg, cgra, &mapping, mode);
+                    if violations.is_empty() {
+                        if tracer.is_on() {
+                            let layout = cgra.layout();
+                            for (op, p) in mapping.placements.iter().enumerate() {
+                                tracer.emit(|| TraceEvent::Place {
+                                    op: op as u32,
+                                    pe: p.pe.0 as u32,
+                                    page: layout.page_of(p.pe).0,
+                                    time: p.time,
+                                });
+                            }
+                            for (edge, hops) in mapping.routes.iter().enumerate() {
+                                if !hops.is_empty() {
+                                    tracer.emit(|| TraceEvent::Route {
+                                        edge: edge as u32,
+                                        hops: hops.len() as u32,
+                                    });
+                                }
+                            }
+                        }
+                        tracer.emit(|| TraceEvent::MapEnd {
+                            kernel: mdfg.dfg.name.clone(),
+                            ii,
+                            success: true,
+                        });
+                        return ScheduleOutcome {
+                            mapping: Ok(mapping),
+                            stats,
+                        };
+                    }
+                    tracer.emit(|| TraceEvent::Evict {
+                        ii,
+                        restart,
+                        violations: violations.len() as u32,
+                    });
+                    if std::env::var_os("CGRA_MAPPER_DEBUG").is_some() {
+                        eprintln!(
+                            "[mapper] ii={ii} restart {restart}: attempt rejected: {violations:?}"
+                        );
+                    }
                 }
-                if std::env::var_os("CGRA_MAPPER_DEBUG").is_some() {
-                    eprintln!(
-                        "[mapper] ii={ii} restart {restart}: attempt rejected: {violations:?}"
-                    );
+                Err(failed) => {
+                    tracer.emit(|| TraceEvent::Backtrack {
+                        ii,
+                        restart,
+                        op: failed.0,
+                    });
                 }
             }
             for (a, b) in stats
@@ -642,6 +702,11 @@ pub fn schedule_from(
             break;
         }
     }
+    tracer.emit(|| TraceEvent::MapEnd {
+        kernel: mdfg.dfg.name.clone(),
+        ii: hi,
+        success: false,
+    });
     ScheduleOutcome {
         mapping: Err(MapError::NoScheduleFound {
             mii,

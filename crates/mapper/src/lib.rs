@@ -44,8 +44,8 @@ pub mod spill;
 
 pub use anneal::{map_anneal, AnnealOptions};
 pub use bitstream::{encode as encode_config, ConfigImage, Instr, OperandSrc};
-pub use constrained::{map_constrained, map_constrained_strict};
-pub use ems::{kernel_mii, map_baseline, MapResult};
+pub use constrained::{map_constrained, map_constrained_strict, map_constrained_traced};
+pub use ems::{kernel_mii, map_baseline, map_baseline_traced, MapResult};
 pub use error::MapError;
 pub use mapping::{validate_mapping, MapMode, Mapping, Placement, RouteHop, Violation};
 pub use opts::MapOptions;

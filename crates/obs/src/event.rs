@@ -1,0 +1,753 @@
+//! Typed trace events and their JSONL encoding.
+//!
+//! Every event renders to a single-line JSON object (see
+//! [`TraceEvent::to_jsonl`]) tagged by an `"ev"` field, and parses back
+//! with [`TraceEvent::parse_line`]. The encoding is canonical — object
+//! keys are sorted by the codec — so identical event streams produce
+//! byte-identical trace files.
+
+use crate::jsonio::Json;
+use cgra_arch::FaultKind;
+
+/// One observable decision made by the mapper, the PageMaster
+/// transform, or the multithreaded simulator.
+///
+/// Times are simulator cycles; `thread` / `kernel` / `op` / `edge` are
+/// dense indices; `page` / `pe` are fabric identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The mapper started a schedule search for one kernel.
+    MapBegin {
+        /// Kernel name.
+        kernel: String,
+        /// Number of DFG operations being placed.
+        ops: u32,
+        /// Mapping mode (`Baseline` / `Constrained` / ...).
+        mode: String,
+    },
+    /// A placement attempt failed at `op` and the search backtracked to
+    /// a fresh restart (or the next II).
+    Backtrack {
+        /// The II being attempted.
+        ii: u32,
+        /// Restart index within that II.
+        restart: u32,
+        /// The DFG node that could not be placed.
+        op: u32,
+    },
+    /// A complete candidate mapping was evicted by the acceptance
+    /// validator.
+    Evict {
+        /// The II of the rejected mapping.
+        ii: u32,
+        /// Restart index that produced it.
+        restart: u32,
+        /// Number of validator violations.
+        violations: u32,
+    },
+    /// One operation's final placement in the accepted mapping.
+    Place {
+        /// DFG node index.
+        op: u32,
+        /// Flat PE index.
+        pe: u32,
+        /// Page containing that PE.
+        page: u16,
+        /// Schedule time slot.
+        time: u32,
+    },
+    /// One routed edge in the accepted mapping.
+    Route {
+        /// DFG edge index.
+        edge: u32,
+        /// Number of routing hops used.
+        hops: u32,
+    },
+    /// The schedule search finished.
+    MapEnd {
+        /// Kernel name.
+        kernel: String,
+        /// Achieved II (last attempted II on failure).
+        ii: u32,
+        /// Whether a mapping was accepted.
+        success: bool,
+    },
+    /// The PageMaster transform started shrinking a paged schedule.
+    TransformBegin {
+        /// Kernel name.
+        kernel: String,
+        /// Source page count.
+        n: u16,
+        /// Target page count.
+        m: u16,
+        /// Source II.
+        ii: u32,
+        /// Strategy requested (`Block` / `PageMaster` / `Auto`).
+        strategy: String,
+    },
+    /// The PageMaster transform produced a plan.
+    TransformEnd {
+        /// Kernel name.
+        kernel: String,
+        /// Target page count.
+        m: u16,
+        /// Plan period (cycles per source cycle).
+        period: u32,
+        /// Plan span (cycles per iteration).
+        span: u64,
+        /// Effective II, rounded up.
+        ii_q_ceil: u32,
+    },
+    /// A multithreaded simulation run started. Opens a run segment;
+    /// every `Thread*` / `Fault` / `Revoke` event belongs to the most
+    /// recent `SimBegin`.
+    SimBegin {
+        /// Number of threads in the workload.
+        threads: u32,
+        /// Total pages on the fabric.
+        pages: u16,
+    },
+    /// A thread requested pages and was queued (none available).
+    ThreadQueue {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+        /// Kernel index the thread wants to run.
+        kernel: u32,
+    },
+    /// A thread was granted pages and started a kernel segment.
+    ThreadStart {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+        /// Kernel index.
+        kernel: u32,
+        /// The exact pages granted.
+        pages: Vec<u16>,
+    },
+    /// A running thread was shrunk to fewer pages.
+    ThreadShrink {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+        /// Page count before.
+        from: u16,
+        /// Page count after.
+        to: u16,
+        /// The pages it retains.
+        pages: Vec<u16>,
+    },
+    /// A running thread was expanded onto freed pages.
+    ThreadExpand {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+        /// Page count before.
+        from: u16,
+        /// Page count after.
+        to: u16,
+        /// The pages it now holds.
+        pages: Vec<u16>,
+    },
+    /// A thread finished a kernel segment and released its pages.
+    ThreadFinish {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+        /// Number of pages released.
+        freed: u16,
+    },
+    /// A thread completed its entire workload.
+    ThreadDone {
+        /// Simulation time.
+        time: u64,
+        /// Thread index.
+        thread: u32,
+    },
+    /// A fault was injected into the fabric.
+    Fault {
+        /// Simulation time.
+        time: u64,
+        /// The page hit.
+        page: u16,
+        /// What the fault does.
+        kind: FaultKind,
+    },
+    /// A page death revoked a thread's only page; the thread was
+    /// re-queued.
+    Revoke {
+        /// Simulation time.
+        time: u64,
+        /// The thread losing the page.
+        thread: u32,
+        /// The dead page.
+        page: u16,
+    },
+    /// The run terminated with an error instead of completing. Closes
+    /// the run segment; oracle completeness checks are skipped.
+    SimAbort {
+        /// The simulator error, rendered.
+        reason: String,
+    },
+    /// The run completed. Closes the run segment.
+    SimEnd {
+        /// Reported makespan (cycles).
+        makespan: u64,
+        /// Total CGRA iterations executed.
+        iterations: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's tag: the `"ev"` field of its JSONL encoding, also
+    /// used as the metrics counter key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MapBegin { .. } => "map_begin",
+            TraceEvent::Backtrack { .. } => "backtrack",
+            TraceEvent::Evict { .. } => "evict",
+            TraceEvent::Place { .. } => "place",
+            TraceEvent::Route { .. } => "route",
+            TraceEvent::MapEnd { .. } => "map_end",
+            TraceEvent::TransformBegin { .. } => "transform_begin",
+            TraceEvent::TransformEnd { .. } => "transform_end",
+            TraceEvent::SimBegin { .. } => "sim_begin",
+            TraceEvent::ThreadQueue { .. } => "thread_queue",
+            TraceEvent::ThreadStart { .. } => "thread_start",
+            TraceEvent::ThreadShrink { .. } => "thread_shrink",
+            TraceEvent::ThreadExpand { .. } => "thread_expand",
+            TraceEvent::ThreadFinish { .. } => "thread_finish",
+            TraceEvent::ThreadDone { .. } => "thread_done",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Revoke { .. } => "revoke",
+            TraceEvent::SimAbort { .. } => "sim_abort",
+            TraceEvent::SimEnd { .. } => "sim_end",
+        }
+    }
+
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().compact()
+    }
+
+    fn to_json(&self) -> Json {
+        let tag = Json::Str(self.kind().into());
+        match self {
+            TraceEvent::MapBegin { kernel, ops, mode } => Json::obj([
+                ("ev", tag),
+                ("kernel", Json::Str(kernel.clone())),
+                ("ops", int(*ops)),
+                ("mode", Json::Str(mode.clone())),
+            ]),
+            TraceEvent::Backtrack { ii, restart, op } => Json::obj([
+                ("ev", tag),
+                ("ii", int(*ii)),
+                ("restart", int(*restart)),
+                ("op", int(*op)),
+            ]),
+            TraceEvent::Evict {
+                ii,
+                restart,
+                violations,
+            } => Json::obj([
+                ("ev", tag),
+                ("ii", int(*ii)),
+                ("restart", int(*restart)),
+                ("violations", int(*violations)),
+            ]),
+            TraceEvent::Place { op, pe, page, time } => Json::obj([
+                ("ev", tag),
+                ("op", int(*op)),
+                ("pe", int(*pe)),
+                ("page", int(*page)),
+                ("time", int(*time)),
+            ]),
+            TraceEvent::Route { edge, hops } => {
+                Json::obj([("ev", tag), ("edge", int(*edge)), ("hops", int(*hops))])
+            }
+            TraceEvent::MapEnd {
+                kernel,
+                ii,
+                success,
+            } => Json::obj([
+                ("ev", tag),
+                ("kernel", Json::Str(kernel.clone())),
+                ("ii", int(*ii)),
+                ("success", Json::Bool(*success)),
+            ]),
+            TraceEvent::TransformBegin {
+                kernel,
+                n,
+                m,
+                ii,
+                strategy,
+            } => Json::obj([
+                ("ev", tag),
+                ("kernel", Json::Str(kernel.clone())),
+                ("n", int(*n)),
+                ("m", int(*m)),
+                ("ii", int(*ii)),
+                ("strategy", Json::Str(strategy.clone())),
+            ]),
+            TraceEvent::TransformEnd {
+                kernel,
+                m,
+                period,
+                span,
+                ii_q_ceil,
+            } => Json::obj([
+                ("ev", tag),
+                ("kernel", Json::Str(kernel.clone())),
+                ("m", int(*m)),
+                ("period", int(*period)),
+                ("span", int(*span)),
+                ("ii_q_ceil", int(*ii_q_ceil)),
+            ]),
+            TraceEvent::SimBegin { threads, pages } => Json::obj([
+                ("ev", tag),
+                ("threads", int(*threads)),
+                ("pages", int(*pages)),
+            ]),
+            TraceEvent::ThreadQueue {
+                time,
+                thread,
+                kernel,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("kernel", int(*kernel)),
+            ]),
+            TraceEvent::ThreadStart {
+                time,
+                thread,
+                kernel,
+                pages,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("kernel", int(*kernel)),
+                ("pages", pages_arr(pages)),
+            ]),
+            TraceEvent::ThreadShrink {
+                time,
+                thread,
+                from,
+                to,
+                pages,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("pages", pages_arr(pages)),
+            ]),
+            TraceEvent::ThreadExpand {
+                time,
+                thread,
+                from,
+                to,
+                pages,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("pages", pages_arr(pages)),
+            ]),
+            TraceEvent::ThreadFinish {
+                time,
+                thread,
+                freed,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("freed", int(*freed)),
+            ]),
+            TraceEvent::ThreadDone { time, thread } => {
+                Json::obj([("ev", tag), ("time", int(*time)), ("thread", int(*thread))])
+            }
+            TraceEvent::Fault { time, page, kind } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("page", int(*page)),
+                (
+                    "kind",
+                    Json::Str(
+                        match kind {
+                            FaultKind::Degrade => "degrade",
+                            FaultKind::Kill => "kill",
+                        }
+                        .into(),
+                    ),
+                ),
+            ]),
+            TraceEvent::Revoke { time, thread, page } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("page", int(*page)),
+            ]),
+            TraceEvent::SimAbort { reason } => {
+                Json::obj([("ev", tag), ("reason", Json::Str(reason.clone()))])
+            }
+            TraceEvent::SimEnd {
+                makespan,
+                iterations,
+            } => Json::obj([
+                ("ev", tag),
+                ("makespan", int(*makespan)),
+                ("iterations", int(*iterations)),
+            ]),
+        }
+    }
+
+    /// Parse one JSONL line back into an event. Strict: unknown tags,
+    /// missing fields and malformed JSON are errors.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, DecodeError> {
+        let v = Json::parse(line).map_err(|e| DecodeError {
+            message: e.to_string(),
+        })?;
+        let tag = str_field(&v, "ev")?;
+        let ev = match tag.as_str() {
+            "map_begin" => TraceEvent::MapBegin {
+                kernel: str_field(&v, "kernel")?,
+                ops: num(&v, "ops")?,
+                mode: str_field(&v, "mode")?,
+            },
+            "backtrack" => TraceEvent::Backtrack {
+                ii: num(&v, "ii")?,
+                restart: num(&v, "restart")?,
+                op: num(&v, "op")?,
+            },
+            "evict" => TraceEvent::Evict {
+                ii: num(&v, "ii")?,
+                restart: num(&v, "restart")?,
+                violations: num(&v, "violations")?,
+            },
+            "place" => TraceEvent::Place {
+                op: num(&v, "op")?,
+                pe: num(&v, "pe")?,
+                page: num(&v, "page")?,
+                time: num(&v, "time")?,
+            },
+            "route" => TraceEvent::Route {
+                edge: num(&v, "edge")?,
+                hops: num(&v, "hops")?,
+            },
+            "map_end" => TraceEvent::MapEnd {
+                kernel: str_field(&v, "kernel")?,
+                ii: num(&v, "ii")?,
+                success: bool_field(&v, "success")?,
+            },
+            "transform_begin" => TraceEvent::TransformBegin {
+                kernel: str_field(&v, "kernel")?,
+                n: num(&v, "n")?,
+                m: num(&v, "m")?,
+                ii: num(&v, "ii")?,
+                strategy: str_field(&v, "strategy")?,
+            },
+            "transform_end" => TraceEvent::TransformEnd {
+                kernel: str_field(&v, "kernel")?,
+                m: num(&v, "m")?,
+                period: num(&v, "period")?,
+                span: num(&v, "span")?,
+                ii_q_ceil: num(&v, "ii_q_ceil")?,
+            },
+            "sim_begin" => TraceEvent::SimBegin {
+                threads: num(&v, "threads")?,
+                pages: num(&v, "pages")?,
+            },
+            "thread_queue" => TraceEvent::ThreadQueue {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                kernel: num(&v, "kernel")?,
+            },
+            "thread_start" => TraceEvent::ThreadStart {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                kernel: num(&v, "kernel")?,
+                pages: pages_field(&v)?,
+            },
+            "thread_shrink" => TraceEvent::ThreadShrink {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                from: num(&v, "from")?,
+                to: num(&v, "to")?,
+                pages: pages_field(&v)?,
+            },
+            "thread_expand" => TraceEvent::ThreadExpand {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                from: num(&v, "from")?,
+                to: num(&v, "to")?,
+                pages: pages_field(&v)?,
+            },
+            "thread_finish" => TraceEvent::ThreadFinish {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                freed: num(&v, "freed")?,
+            },
+            "thread_done" => TraceEvent::ThreadDone {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+            },
+            "fault" => TraceEvent::Fault {
+                time: num(&v, "time")?,
+                page: num(&v, "page")?,
+                kind: match str_field(&v, "kind")?.as_str() {
+                    "degrade" => FaultKind::Degrade,
+                    "kill" => FaultKind::Kill,
+                    other => {
+                        return Err(DecodeError {
+                            message: format!("unknown fault kind {other:?}"),
+                        })
+                    }
+                },
+            },
+            "revoke" => TraceEvent::Revoke {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                page: num(&v, "page")?,
+            },
+            "sim_abort" => TraceEvent::SimAbort {
+                reason: str_field(&v, "reason")?,
+            },
+            "sim_end" => TraceEvent::SimEnd {
+                makespan: num(&v, "makespan")?,
+                iterations: num(&v, "iterations")?,
+            },
+            other => {
+                return Err(DecodeError {
+                    message: format!("unknown event tag {other:?}"),
+                })
+            }
+        };
+        Ok(ev)
+    }
+
+    /// Parse a whole JSONL document (blank lines are skipped).
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, DecodeError> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| {
+                TraceEvent::parse_line(l).map_err(|e| DecodeError {
+                    message: format!("line {}: {}", i + 1, e.message),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A failure decoding a JSONL trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn int<T: TryInto<i64>>(v: T) -> Json {
+    // Cycle counts live far below 2^63; saturate rather than panic if
+    // one ever does not.
+    Json::Int(v.try_into().unwrap_or(i64::MAX))
+}
+
+fn pages_arr(pages: &[u16]) -> Json {
+    Json::Arr(pages.iter().map(|&p| Json::Int(p as i64)).collect())
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| DecodeError {
+            message: format!("missing string field {key:?}"),
+        })
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, DecodeError> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(DecodeError {
+            message: format!("missing bool field {key:?}"),
+        }),
+    }
+}
+
+fn num<T: TryFrom<i64>>(v: &Json, key: &str) -> Result<T, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_int)
+        .and_then(|i| T::try_from(i).ok())
+        .ok_or_else(|| DecodeError {
+            message: format!("missing or out-of-range integer field {key:?}"),
+        })
+}
+
+fn pages_field(v: &Json) -> Result<Vec<u16>, DecodeError> {
+    v.get("pages")
+        .and_then(Json::as_arr)
+        .and_then(|arr| {
+            arr.iter()
+                .map(|p| p.as_int().and_then(|i| u16::try_from(i).ok()))
+                .collect::<Option<Vec<u16>>>()
+        })
+        .ok_or_else(|| DecodeError {
+            message: "missing page-list field \"pages\"".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::MapBegin {
+                kernel: "fir".into(),
+                ops: 12,
+                mode: "Constrained".into(),
+            },
+            TraceEvent::Backtrack {
+                ii: 3,
+                restart: 1,
+                op: 7,
+            },
+            TraceEvent::Evict {
+                ii: 3,
+                restart: 2,
+                violations: 1,
+            },
+            TraceEvent::Place {
+                op: 0,
+                pe: 5,
+                page: 1,
+                time: 2,
+            },
+            TraceEvent::Route { edge: 4, hops: 2 },
+            TraceEvent::MapEnd {
+                kernel: "fir".into(),
+                ii: 4,
+                success: true,
+            },
+            TraceEvent::TransformBegin {
+                kernel: "fir".into(),
+                n: 4,
+                m: 2,
+                ii: 4,
+                strategy: "Auto".into(),
+            },
+            TraceEvent::TransformEnd {
+                kernel: "fir".into(),
+                m: 2,
+                period: 2,
+                span: 8,
+                ii_q_ceil: 8,
+            },
+            TraceEvent::SimBegin {
+                threads: 2,
+                pages: 4,
+            },
+            TraceEvent::ThreadQueue {
+                time: 10,
+                thread: 1,
+                kernel: 0,
+            },
+            TraceEvent::ThreadStart {
+                time: 0,
+                thread: 0,
+                kernel: 3,
+                pages: vec![0, 1],
+            },
+            TraceEvent::ThreadShrink {
+                time: 20,
+                thread: 0,
+                from: 2,
+                to: 1,
+                pages: vec![0],
+            },
+            TraceEvent::ThreadExpand {
+                time: 30,
+                thread: 1,
+                from: 1,
+                to: 2,
+                pages: vec![2, 3],
+            },
+            TraceEvent::ThreadFinish {
+                time: 40,
+                thread: 0,
+                freed: 1,
+            },
+            TraceEvent::ThreadDone {
+                time: 41,
+                thread: 0,
+            },
+            TraceEvent::Fault {
+                time: 15,
+                page: 2,
+                kind: FaultKind::Kill,
+            },
+            TraceEvent::Fault {
+                time: 16,
+                page: 3,
+                kind: FaultKind::Degrade,
+            },
+            TraceEvent::Revoke {
+                time: 15,
+                thread: 1,
+                page: 2,
+            },
+            TraceEvent::SimAbort {
+                reason: "starved".into(),
+            },
+            TraceEvent::SimEnd {
+                makespan: 99,
+                iterations: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for ev in samples() {
+            let line = ev.to_jsonl();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn whole_document_round_trips() {
+        let evs = samples();
+        let doc: String = evs.iter().map(|e| e.to_jsonl() + "\n").collect();
+        assert_eq!(TraceEvent::parse_jsonl(&doc).unwrap(), evs);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(TraceEvent::parse_line("not json").is_err());
+        assert!(TraceEvent::parse_line("{\"ev\":\"no_such_tag\"}").is_err());
+        assert!(TraceEvent::parse_line("{\"ev\":\"sim_end\"}").is_err());
+        assert!(TraceEvent::parse_line(
+            "{\"ev\":\"fault\",\"time\":1,\"page\":0,\"kind\":\"melt\"}"
+        )
+        .is_err());
+    }
+}

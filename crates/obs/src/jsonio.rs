@@ -1,12 +1,13 @@
-//! A small, dependency-free JSON codec for the on-disk mapping cache.
+//! A small, dependency-free JSON codec.
 //!
 //! The build environment has no registry access, so `serde_json` is not
 //! available; the workspace's `serde` is an offline marker shim (see
 //! `crates/serde`). This module is the real serialization layer for the
-//! handful of types `cgra-bench` persists: a [`Json`] value tree, a
-//! strict parser, and a stable pretty-printer whose output is
-//! byte-deterministic (object order is whatever the builder inserted —
-//! writers in this crate always insert in a fixed order).
+//! workspace: trace events (JSONL, via [`Json::compact`]) and the
+//! on-disk mapping cache in `cgra-bench` (which re-exports this module,
+//! via [`Json::pretty`]). It provides a [`Json`] value tree, a strict
+//! parser, and stable printers whose output is byte-deterministic
+//! (`BTreeMap` keys make object order canonical).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -75,6 +76,47 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Print on a single line with no insignificant whitespace — the
+    /// JSONL trace format (one event per line, no trailing newline).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -358,6 +400,19 @@ mod tests {
         assert_eq!(build().pretty(), build().pretty());
         // BTreeMap canonicalises insertion order.
         assert!(build().pretty().find("\"a\"").unwrap() < build().pretty().find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Json::obj([
+            ("ev", Json::Str("thread_start".into())),
+            ("pages", Json::Arr(vec![Json::Int(0), Json::Int(1)])),
+            ("time", Json::Int(42)),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Lightweight metrics over a trace: monotonic counters plus log₂
+//! cycle histograms, in the style of the simulator's `stats` structs.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// A log₂-bucketed histogram of cycle counts.
+///
+/// Bucket `k` holds values in `[2^(k-1), 2^k)` (bucket 0 holds zero),
+/// which is plenty of resolution for "where did the cycles go" while
+/// staying a fixed-size struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHisto {
+    buckets: [u64; 65],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for CycleHisto {
+    fn default() -> Self {
+        CycleHisto {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl CycleHisto {
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Occupied buckets as `(lower_bound, count)`, smallest first.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(k, &n)| (if k == 0 { 0 } else { 1u64 << (k - 1) }, n))
+            .collect()
+    }
+}
+
+/// Counters and histograms accumulated from a trace.
+///
+/// Counters are keyed by [`TraceEvent::kind`]; the histograms time the
+/// two intervals that dominate multithreaded behaviour — how long a
+/// thread waits in the queue before being granted pages, and how long
+/// each kernel segment holds the fabric.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total events seen.
+    pub events: u64,
+    /// Per-event-kind monotonic counters.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Queue→start wait per thread admission, in cycles.
+    pub queue_wait: CycleHisto,
+    /// Start→finish duration per kernel segment, in cycles.
+    pub segment_cycles: CycleHisto,
+    queued_at: BTreeMap<u32, u64>,
+    started_at: BTreeMap<u32, u64>,
+}
+
+impl Metrics {
+    /// Fold one event into the counters and histograms.
+    pub fn absorb(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        *self.counts.entry(ev.kind()).or_insert(0) += 1;
+        match *ev {
+            TraceEvent::SimBegin { .. } => {
+                // Interval state is per run; a new run resets it.
+                self.queued_at.clear();
+                self.started_at.clear();
+            }
+            TraceEvent::ThreadQueue { time, thread, .. } => {
+                self.queued_at.insert(thread, time);
+            }
+            TraceEvent::ThreadStart { time, thread, .. } => {
+                if let Some(q) = self.queued_at.remove(&thread) {
+                    self.queue_wait.record(time.saturating_sub(q));
+                }
+                self.started_at.insert(thread, time);
+            }
+            TraceEvent::ThreadFinish { time, thread, .. } => {
+                if let Some(s) = self.started_at.remove(&thread) {
+                    self.segment_cycles.record(time.saturating_sub(s));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Render a deterministic plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "events: {}", self.events);
+        for (kind, n) in &self.counts {
+            let _ = writeln!(out, "  {kind:>16}: {n}");
+        }
+        render_histo(&mut out, "queue_wait", &self.queue_wait);
+        render_histo(&mut out, "segment_cycles", &self.segment_cycles);
+        out
+    }
+}
+
+fn render_histo(out: &mut String, name: &str, h: &CycleHisto) {
+    let _ = writeln!(
+        out,
+        "{name}: count {} mean {} max {}",
+        h.count,
+        h.mean(),
+        h.max
+    );
+    for (lo, n) in h.nonzero_buckets() {
+        let _ = writeln!(out, "  >= {lo:>12}: {n}");
+    }
+}
+
+/// The counting [`TraceSink`]: accumulates [`Metrics`] from every
+/// recorded event.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    inner: Mutex<Metrics>,
+}
+
+impl MetricsSink {
+    /// An empty metrics accumulator.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// A copy of the metrics accumulated so far.
+    pub fn snapshot(&self) -> Metrics {
+        self.inner.lock().expect("metrics poisoned").clone()
+    }
+
+    /// Render the accumulated metrics report.
+    pub fn render(&self) -> String {
+        self.inner.lock().expect("metrics poisoned").render()
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn record(&self, ev: TraceEvent) {
+        self.inner.lock().expect("metrics poisoned").absorb(&ev);
+    }
+
+    fn record_batch(&self, evs: Vec<TraceEvent>) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        for ev in &evs {
+            inner.absorb(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histo_buckets_are_log2() {
+        let mut h = CycleHisto::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.mean(), 1034 / 6);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 1)]
+        );
+    }
+
+    #[test]
+    fn metrics_counts_and_intervals() {
+        let sink = MetricsSink::new();
+        sink.record(TraceEvent::SimBegin {
+            threads: 1,
+            pages: 4,
+        });
+        sink.record(TraceEvent::ThreadQueue {
+            time: 10,
+            thread: 0,
+            kernel: 0,
+        });
+        sink.record(TraceEvent::ThreadStart {
+            time: 25,
+            thread: 0,
+            kernel: 0,
+            pages: vec![0],
+        });
+        sink.record(TraceEvent::ThreadFinish {
+            time: 125,
+            thread: 0,
+            freed: 1,
+        });
+        let m = sink.snapshot();
+        assert_eq!(m.events, 4);
+        assert_eq!(m.counts["thread_start"], 1);
+        assert_eq!(m.queue_wait.sum, 15);
+        assert_eq!(m.segment_cycles.sum, 100);
+        let report = sink.render();
+        assert!(report.contains("thread_queue"), "{report}");
+        assert!(
+            report.contains("queue_wait: count 1 mean 15 max 15"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let sink = MetricsSink::new();
+        for t in 0..5 {
+            sink.record(TraceEvent::ThreadDone { time: t, thread: 0 });
+        }
+        assert_eq!(sink.render(), sink.snapshot().render());
+    }
+}

@@ -12,10 +12,11 @@
 use crate::baseline::simulate_baseline;
 use crate::error::SimError;
 use crate::kernel_lib::KernelLibrary;
-use crate::multithreaded::{simulate_multithreaded_faulty, MtConfig};
+use crate::multithreaded::{simulate_multithreaded_faulty_traced, MtConfig};
 use crate::stats::SimReport;
 use crate::workload::{generate, WorkloadParams};
 use cgra_arch::FaultSpec;
+use cgra_obs::Tracer;
 
 /// Baseline and multithreaded reports for one generated workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,11 +58,27 @@ pub fn simulate_point_faulty(
     mt: MtConfig,
     faults: FaultSpec,
 ) -> Result<PointReport, SimError> {
+    simulate_point_faulty_traced(lib, params, mt, faults, &Tracer::off())
+}
+
+/// [`simulate_point_faulty`] with the multithreaded run emitted to
+/// `tracer` (the baseline FCFS run is a fixed reference and stays
+/// untraced). Still re-entrant: `Tracer` is `Send + Sync`, so concurrent
+/// sweep points may share one sink — callers that need each point's
+/// events contiguous should wrap the call in
+/// [`Tracer::batched`](cgra_obs::Tracer::batched).
+pub fn simulate_point_faulty_traced(
+    lib: &KernelLibrary,
+    params: &WorkloadParams,
+    mt: MtConfig,
+    faults: FaultSpec,
+    tracer: &Tracer,
+) -> Result<PointReport, SimError> {
     let workload = generate(lib, params);
     let events = faults.schedule(lib.num_pages);
     Ok(PointReport {
         baseline: simulate_baseline(lib, &workload),
-        multithreaded: simulate_multithreaded_faulty(lib, &workload, mt, &events)?,
+        multithreaded: simulate_multithreaded_faulty_traced(lib, &workload, mt, &events, tracer)?,
     })
 }
 
@@ -81,6 +98,7 @@ pub fn assert_parallel_safe() {
     ok::<WorkloadParams>();
     ok::<SimError>();
     ok::<FaultSpec>();
+    ok::<Tracer>();
 }
 
 #[cfg(test)]

@@ -7,9 +7,10 @@
 //! page budget on the halving chain.
 
 use cgra_arch::CgraConfig;
-use cgra_core::transform::{transform, Strategy};
+use cgra_core::transform::{transform_traced, Strategy};
 use cgra_core::PagedSchedule;
-use cgra_mapper::{map_baseline, map_constrained, MapError, MapOptions};
+use cgra_mapper::{map_baseline_traced, map_constrained_traced, MapError, MapOptions};
+use cgra_obs::Tracer;
 use serde::{Deserialize, Serialize};
 
 /// The page budgets the allocator hands out: `N, N/2, N/4, …, 1`
@@ -52,8 +53,19 @@ impl KernelProfile {
         cgra: &CgraConfig,
         opts: &MapOptions,
     ) -> Result<Self, MapError> {
-        let base = map_baseline(dfg, cgra, opts)?;
-        let cons = map_constrained(dfg, cgra, opts)?;
+        Self::compile_traced(dfg, cgra, opts, &Tracer::off())
+    }
+
+    /// [`compile`](Self::compile) with both mapper searches and every
+    /// halving-chain transform emitted to `tracer`.
+    pub fn compile_traced(
+        dfg: &cgra_dfg::Dfg,
+        cgra: &CgraConfig,
+        opts: &MapOptions,
+        tracer: &Tracer,
+    ) -> Result<Self, MapError> {
+        let base = map_baseline_traced(dfg, cgra, opts, tracer)?;
+        let cons = map_constrained_traced(dfg, cgra, opts, tracer)?;
         let paged = PagedSchedule::from_mapping(&cons, cgra)
             .map_err(|e| MapError::Unmappable {
                 reason: e.to_string(),
@@ -68,10 +80,11 @@ impl KernelProfile {
                 // transformation for budgets covering their footprint.
                 cons.ii()
             } else {
-                let plan =
-                    transform(&paged, m, Strategy::Auto).map_err(|e| MapError::Unmappable {
+                let plan = transform_traced(&paged, m, Strategy::Auto, tracer).map_err(|e| {
+                    MapError::Unmappable {
                         reason: format!("transform to {m} pages: {e}"),
-                    })?;
+                    }
+                })?;
                 debug_assert!(
                     cgra_core::validate::validate_plan(&paged, &plan).is_empty(),
                     "invalid plan for {} at M={m}",
@@ -134,9 +147,20 @@ pub struct KernelLibrary {
 impl KernelLibrary {
     /// Compile all 11 benchmark kernels for a fabric.
     pub fn compile_benchmarks(cgra: &CgraConfig, opts: &MapOptions) -> Result<Self, MapError> {
+        Self::compile_benchmarks_traced(cgra, opts, &Tracer::off())
+    }
+
+    /// [`compile_benchmarks`](Self::compile_benchmarks) with every
+    /// kernel's compilation emitted to `tracer` (one `MapBegin`/`MapEnd`
+    /// segment per mapper search, in `cgra_dfg::kernels::NAMES` order).
+    pub fn compile_benchmarks_traced(
+        cgra: &CgraConfig,
+        opts: &MapOptions,
+        tracer: &Tracer,
+    ) -> Result<Self, MapError> {
         let profiles = cgra_dfg::kernels::all()
             .iter()
-            .map(|k| KernelProfile::compile(k, cgra, opts))
+            .map(|k| KernelProfile::compile_traced(k, cgra, opts, tracer))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(KernelLibrary {
             profiles,

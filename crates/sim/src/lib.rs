@@ -36,9 +36,12 @@ pub mod workload;
 
 pub use alloc::{Allocator, ExpandPolicy, Expansion, PageDeath, RequestOutcome};
 pub use baseline::simulate_baseline;
-pub use entry::{simulate_point, simulate_point_faulty, PointReport};
+pub use entry::{simulate_point, simulate_point_faulty, simulate_point_faulty_traced, PointReport};
 pub use error::SimError;
 pub use kernel_lib::{halving_chain, KernelLibrary, KernelProfile};
-pub use multithreaded::{simulate_multithreaded, simulate_multithreaded_faulty, MtConfig};
+pub use multithreaded::{
+    simulate_multithreaded, simulate_multithreaded_faulty, simulate_multithreaded_faulty_traced,
+    MtConfig,
+};
 pub use stats::{improvement_percent, FaultStats, SimReport};
 pub use workload::{generate, CgraNeed, Segment, ThreadSpec, WorkloadParams};

@@ -30,6 +30,7 @@ use crate::kernel_lib::KernelLibrary;
 use crate::stats::{FaultStats, SimReport};
 use crate::workload::{Segment, ThreadSpec};
 use cgra_arch::{FaultEvent, FaultKind, FaultMap, PageHealth};
+use cgra_obs::{TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Multithreaded-system knobs.
@@ -79,6 +80,7 @@ struct Sim<'a> {
     lib: &'a KernelLibrary,
     threads: &'a [ThreadSpec],
     cfg: MtConfig,
+    tracer: &'a Tracer,
     q: EventQueue,
     seg_idx: Vec<usize>,
     mode: Vec<Mode>,
@@ -215,6 +217,13 @@ impl<'a> Sim<'a> {
         self.pages_busy += pages as u64;
         self.q.bump(thread);
         self.q.push(since + iterations * rate, thread);
+        let tr = self.tracer;
+        tr.emit(|| TraceEvent::ThreadStart {
+            time: now,
+            thread: thread as u32,
+            kernel: kernel as u32,
+            pages: self.alloc.pages_of(thread),
+        });
         Ok(())
     }
 
@@ -247,6 +256,14 @@ impl<'a> Sim<'a> {
                 // pages_busy: victim gave up (old - new) pages.
                 self.set_rate(victim, now, new_rate);
                 self.pages_busy -= (victim_was - victim_pages) as u64;
+                let tr = self.tracer;
+                tr.emit(|| TraceEvent::ThreadShrink {
+                    time: now,
+                    thread: victim as u32,
+                    from: victim_was,
+                    to: victim_pages,
+                    pages: self.alloc.pages_of(victim),
+                });
                 self.start_kernel(thread, kernel, iterations, now, pages)?;
             }
             RequestOutcome::Queued => {
@@ -256,6 +273,11 @@ impl<'a> Sim<'a> {
                     enqueued: now,
                 };
                 self.queue.push_back(thread);
+                self.tracer.emit(|| TraceEvent::ThreadQueue {
+                    time: now,
+                    thread: thread as u32,
+                    kernel: kernel as u32,
+                });
             }
         }
         Ok(())
@@ -296,6 +318,14 @@ impl<'a> Sim<'a> {
                 self.pages_busy += (ex.to_pages - ex.from_pages) as u64;
                 let new_rate = self.effective_rate(ex.thread, kernel, ex.to_pages)?;
                 self.set_rate(ex.thread, now, new_rate);
+                let tr = self.tracer;
+                tr.emit(|| TraceEvent::ThreadExpand {
+                    time: now,
+                    thread: ex.thread as u32,
+                    from: ex.from_pages,
+                    to: ex.to_pages,
+                    pages: self.alloc.pages_of(ex.thread),
+                });
             }
         }
         Ok(())
@@ -311,6 +341,11 @@ impl<'a> Sim<'a> {
         self.integrate(now);
         let freed = self.alloc.release(thread)?;
         self.pages_busy -= freed as u64;
+        self.tracer.emit(|| TraceEvent::ThreadFinish {
+            time: now,
+            thread: thread as u32,
+            freed,
+        });
         self.advance(thread, now)?;
         self.redistribute(now)
     }
@@ -321,6 +356,10 @@ impl<'a> Sim<'a> {
         if idx >= self.threads[thread].segments.len() {
             self.mode[thread] = Mode::Done;
             self.finish[thread] = now;
+            self.tracer.emit(|| TraceEvent::ThreadDone {
+                time: now,
+                thread: thread as u32,
+            });
             return Ok(());
         }
         self.seg_idx[thread] += 1;
@@ -347,6 +386,11 @@ impl<'a> Sim<'a> {
             });
         }
         self.fstats.injected += 1;
+        self.tracer.emit(|| TraceEvent::Fault {
+            time: now,
+            page: ev.page,
+            kind: ev.kind,
+        });
         match ev.kind {
             FaultKind::Degrade => {
                 if self.faults.health(ev.page) != PageHealth::Healthy {
@@ -391,6 +435,14 @@ impl<'a> Sim<'a> {
                         if let Some(at) = self.set_rate(victim, now, rate) {
                             self.fstats.recovery_cycles += at.saturating_sub(now);
                         }
+                        let tr = self.tracer;
+                        tr.emit(|| TraceEvent::ThreadShrink {
+                            time: now,
+                            thread: victim as u32,
+                            from: from_pages,
+                            to: to_pages,
+                            pages: self.alloc.pages_of(victim),
+                        });
                     }
                     PageDeath::Revoked { victim } => {
                         self.integrate(now);
@@ -424,6 +476,11 @@ impl<'a> Sim<'a> {
                         };
                         self.queue.push_back(victim);
                         self.fault_waiting[victim] = true;
+                        self.tracer.emit(|| TraceEvent::Revoke {
+                            time: now,
+                            thread: victim as u32,
+                            page: ev.page,
+                        });
                     }
                 }
                 // A death can free surplus pages (chain rounding): let
@@ -510,12 +567,32 @@ pub fn simulate_multithreaded_faulty(
     cfg: MtConfig,
     faults: &[FaultEvent],
 ) -> Result<SimReport, SimError> {
+    simulate_multithreaded_faulty_traced(lib, threads, cfg, faults, &Tracer::off())
+}
+
+/// [`simulate_multithreaded_faulty`] with every scheduling decision
+/// emitted to `tracer`: one `SimBegin`/`SimEnd` pair bracketing the run
+/// (or `SimAbort` when the simulation errors out), with thread
+/// queue/start/shrink/expand/finish/done, fault, and revoke events in
+/// between, all stamped with simulation time.
+pub fn simulate_multithreaded_faulty_traced(
+    lib: &KernelLibrary,
+    threads: &[ThreadSpec],
+    cfg: MtConfig,
+    faults: &[FaultEvent],
+    tracer: &Tracer,
+) -> Result<SimReport, SimError> {
     let mut fault_events = faults.to_vec();
     fault_events.sort_by_key(|f| (f.time, f.page));
+    tracer.emit(|| TraceEvent::SimBegin {
+        threads: threads.len() as u32,
+        pages: lib.num_pages,
+    });
     let mut sim = Sim {
         lib,
         threads,
         cfg,
+        tracer,
         q: EventQueue::new(threads.len()),
         seg_idx: vec![0; threads.len()],
         mode: vec![Mode::Advancing; threads.len()],
@@ -535,7 +612,16 @@ pub fn simulate_multithreaded_faulty(
         expands: 0,
         stall_cycles: 0,
     };
-    sim.run()?;
+    if let Err(err) = sim.run() {
+        tracer.emit(|| TraceEvent::SimAbort {
+            reason: err.to_string(),
+        });
+        return Err(err);
+    }
+    tracer.emit(|| TraceEvent::SimEnd {
+        makespan: sim.finish.iter().copied().max().unwrap_or(0),
+        iterations: sim.cgra_iterations,
+    });
     Ok(SimReport {
         makespan: sim.finish.iter().copied().max().unwrap_or(0),
         thread_finish: sim.finish,

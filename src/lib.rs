@@ -18,6 +18,9 @@
 //!   the Figure 9 experiments.
 //! * [`exec`] — functional execution: a golden DFG interpreter and a
 //!   cycle-level machine that prove schedules compute correct values.
+//! * [`obs`] — zero-cost-when-off observability: typed trace events from
+//!   the mapper/transform/simulator, JSONL sinks, folded metrics, and
+//!   the trace-replay oracle.
 //!
 //! ## Quick start
 //!
@@ -47,6 +50,7 @@ pub use cgra_core as core;
 pub use cgra_dfg as dfg;
 pub use cgra_exec as exec;
 pub use cgra_mapper as mapper;
+pub use cgra_obs as obs;
 pub use cgra_sim as sim;
 
 /// The commonly-used surface in one import.

@@ -10,7 +10,9 @@ use cgra_bench::fig8;
 use cgra_bench::fig9::{self, Fig9Params, Fig9Point};
 use cgra_bench::libcache::LibCache;
 use cgra_bench::mapcache::MapCache;
+use cgra_obs::{check_trace, RingSink, Tracer};
 use cgra_sim::{CgraNeed, MtConfig};
+use std::sync::Arc;
 
 /// The reduced Fig. 8 grid: two page sizes on the 4x4.
 fn fig8_reduced(engine: &Engine, cache: &MapCache) -> Vec<fig8::Fig8Point> {
@@ -108,6 +110,65 @@ fn fig9_is_byte_identical_across_jobs_and_cache_modes() {
             );
         }
     }
+}
+
+#[test]
+fn fault_curve_is_identical_across_jobs_and_traces_are_oracle_clean() {
+    // The fault-injection path must honour the same contract as the
+    // fault-free grid: a degradation curve run serially and with four
+    // workers must agree point-for-point, and the trace captured from
+    // either run must replay clean through the trace oracle. count=2
+    // kills on the 4-page fabric means at most half the fabric dies, so
+    // no scale of the curve can starve a thread.
+    let base = cgra_arch::FaultSpec::Mtbf {
+        mean: 10_000,
+        count: 2,
+        seed: 1,
+        kind: cgra_arch::FaultKind::Kill,
+    };
+    let params = quick_params();
+    let run = |jobs: usize| {
+        let sink = Arc::new(RingSink::unbounded());
+        let tracer = Tracer::new(sink.clone());
+        let cache = LibCache::new();
+        let curve = fig9::degradation_curve_traced(
+            &Engine::with_jobs(jobs),
+            &cache,
+            4,
+            4,
+            base,
+            &params,
+            &tracer,
+        );
+        (curve, sink.drain())
+    };
+
+    let (reference, serial_trace) = run(1);
+    assert!(reference.iter().all(|(_, _, r)| r.is_ok()), "{reference:?}");
+    let report = check_trace(&serial_trace).expect("serial fault trace replays clean");
+    assert!(report.runs > 0, "traced runs must be recorded");
+    assert_eq!(report.aborted_runs, 0);
+    // Faults actually struck — the revoke/shrink machinery was exercised.
+    let faulted = reference
+        .iter()
+        .filter_map(|(_, _, r)| r.as_ref().ok())
+        .any(|p| p.faults.any());
+    assert!(faulted, "no fault ever fired; the curve tests nothing");
+
+    let (parallel, parallel_trace) = run(4);
+    // Fig9Point holds f64 means; equality is bit-level — the contract.
+    assert_eq!(parallel, reference, "fault curve diverges at jobs=4");
+    assert_eq!(
+        fig9::render_curve(&parallel),
+        fig9::render_curve(&reference),
+        "rendered curve diverges at jobs=4"
+    );
+    let parallel_report = check_trace(&parallel_trace).expect("parallel fault trace replays clean");
+    assert_eq!(
+        parallel_report.runs, report.runs,
+        "jobs=4 must trace the same number of runs as jobs=1"
+    );
+    assert_eq!(parallel_report.events, report.events);
 }
 
 #[test]
