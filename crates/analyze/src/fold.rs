@@ -1,0 +1,143 @@
+//! Fold analysis: the Fig. 6 shrink-to-one-page, including D4
+//! orientation legality after mirroring.
+//!
+//! The PE-level dataflow re-derivation (page confinement, slot
+//! exclusivity mod `II_q`, step adjacency and ordering, rotating
+//! pressure) is [`cgra_core::fold::validate_fold`]; this pass lifts its
+//! findings into coded diagnostics and adds the **orientation-plan
+//! check** (A225): the mirror applied to each source page is re-derived
+//! here from the serpentine page walk — an east/west step composes a
+//! left-right mirror, a north/south step a top-bottom mirror, the
+//! composition living in the Klein four-group `{I, H, V, R}` — and the
+//! folded schedule's recorded orientation vector must match. A wrong
+//! mirror can keep every op inside the page and even keep steps adjacent
+//! on small pages, so the dataflow checks alone cannot always see it.
+
+use crate::diag::{Code, Diagnostic, Report, Span};
+use cgra_arch::mirror::Orientation;
+use cgra_arch::page::PageId;
+use cgra_arch::CgraConfig;
+use cgra_core::fold::{validate_fold, FoldViolation, FoldedSchedule};
+use cgra_mapper::MapResult;
+
+/// Lift one shallow [`FoldViolation`] into a coded [`Diagnostic`].
+pub fn diagnostic_from_fold_violation(v: &FoldViolation) -> Diagnostic {
+    match v {
+        FoldViolation::OutsidePage { pe } => Diagnostic::new(
+            Code::A220FoldOutsidePage,
+            Span::Pe(pe.0),
+            "folded op escaped the target page".to_string(),
+        ),
+        FoldViolation::SlotCollision { pe, slot } => Diagnostic::new(
+            Code::A221FoldSlotCollision,
+            Span::Pe(pe.0),
+            format!("two folded steps at modulo slot {slot}"),
+        ),
+        FoldViolation::BrokenStep { edge, from, to } => Diagnostic::new(
+            Code::A222FoldBrokenStep,
+            Span::Edge(*edge as u32),
+            format!("step endpoints {from} and {to} are neither equal nor adjacent"),
+        ),
+        FoldViolation::BackwardsStep { edge } => Diagnostic::new(
+            Code::A223FoldBackwardsStep,
+            Span::Edge(*edge as u32),
+            "step runs backwards in folded time".to_string(),
+        ),
+        FoldViolation::RfOverflow {
+            pe,
+            required,
+            available,
+        } => Diagnostic::new(
+            Code::A224FoldRfOverflow,
+            Span::Pe(pe.0),
+            format!("rotating file needs {required} registers, has {available}"),
+        ),
+    }
+}
+
+/// The expected orientation of each source page, re-derived from the
+/// serpentine page walk (independent of `cgra_core::fold`).
+fn expected_orientations(cgra: &CgraConfig) -> Vec<Orientation> {
+    let layout = cgra.layout();
+    let mut expected = Vec::with_capacity(layout.num_pages());
+    let mut o = Orientation::Identity;
+    for i in 0..layout.num_pages() {
+        if i > 0 {
+            let prev = layout.origin(PageId(i as u16 - 1));
+            let here = layout.origin(PageId(i as u16));
+            let step = if prev.r == here.r {
+                Orientation::MirrorV
+            } else {
+                Orientation::MirrorH
+            };
+            o = o.then(step);
+        }
+        expected.push(o);
+    }
+    expected
+}
+
+/// Analyze a folded schedule against the mapping it came from.
+pub fn analyze_fold(result: &MapResult, cgra: &CgraConfig, folded: &FoldedSchedule) -> Report {
+    let mut diagnostics: Vec<Diagnostic> = validate_fold(result, cgra, folded)
+        .iter()
+        .map(diagnostic_from_fold_violation)
+        .collect();
+
+    let expected = expected_orientations(cgra);
+    if folded.orientations.len() == expected.len() {
+        for (page, (&got, &want)) in folded.orientations.iter().zip(expected.iter()).enumerate() {
+            if got != want {
+                diagnostics.push(Diagnostic::new(
+                    Code::A225OrientationPlanMismatch,
+                    Span::Page(page as u16),
+                    format!("mirrored {got:?}, Fig. 6 serpentine rule requires {want:?}"),
+                ));
+            }
+        }
+    } else {
+        diagnostics.push(Diagnostic::new(
+            Code::A225OrientationPlanMismatch,
+            Span::Global,
+            format!(
+                "{} orientations recorded for {} pages",
+                folded.orientations.len(),
+                expected.len()
+            ),
+        ));
+    }
+
+    Report::from_diagnostics(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_core::fold::fold_to_page;
+    use cgra_mapper::{map_constrained, MapOptions};
+
+    #[test]
+    fn clean_folds_analyze_clean() {
+        let cgra = CgraConfig::square(4).with_rf_size(32);
+        let r = map_constrained(&cgra_dfg::kernels::fir(), &cgra, &MapOptions::default())
+            .expect("maps");
+        let folded = fold_to_page(&r, &cgra, PageId(0)).expect("folds");
+        let rep = analyze_fold(&r, &cgra, &folded);
+        assert!(rep.is_clean(), "{}", rep.render());
+    }
+
+    #[test]
+    fn wrong_mirror_is_flagged_even_without_dataflow_damage() {
+        let cgra = CgraConfig::square(4).with_rf_size(32);
+        let r = map_constrained(&cgra_dfg::kernels::fir(), &cgra, &MapOptions::default())
+            .expect("maps");
+        let mut folded = fold_to_page(&r, &cgra, PageId(0)).expect("folds");
+        folded.orientations[2] = Orientation::Identity;
+        let rep = analyze_fold(&r, &cgra, &folded);
+        assert!(
+            rep.codes().contains(&Code::A225OrientationPlanMismatch),
+            "{}",
+            rep.render()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Paging-constraint analysis of a [`PagedSchedule`] (§VI-B).
+//!
+//! A page-level schedule is the transformation's input; this pass checks
+//! it from first principles, independent of the extraction that built
+//! it:
+//!
+//! * **Shape** — the cell grid must be exactly `N × II` (A004).
+//! * **Ring discipline** — every dependence must stay on its page or
+//!   advance one page; the wrap link `N−1 → 0` is topologically real and
+//!   accepted (synthetic full-ring schedules use it; mapper-extracted
+//!   ones never do). Backwards or page-skipping dependences are A204.
+//! * **Register-usage bound** — §VI-B: a value parked between pages
+//!   rests in the producing page's rotating files for `gap` cycles and
+//!   needs `gap/II + 1` rotating registers; a dependence whose own park
+//!   exceeds the file is unrealisable and must have been spilled through
+//!   memory instead (A202).
+
+use crate::diag::{Code, Diagnostic, Report, Span};
+use cgra_arch::register::RotatingRf;
+use cgra_core::PagedSchedule;
+
+/// Analyze a page-level schedule against a fabric with `rf_size`
+/// rotating registers per PE.
+pub fn analyze_paged(p: &PagedSchedule, rf_size: u16) -> Report {
+    let mut diagnostics = Vec::new();
+
+    if p.cells.len() != p.num_pages as usize * p.ii as usize {
+        diagnostics.push(Diagnostic::new(
+            Code::A004ShapeMismatch,
+            Span::Global,
+            format!(
+                "cell grid holds {} cells for {} pages x II {}",
+                p.cells.len(),
+                p.num_pages,
+                p.ii
+            ),
+        ));
+        return Report::from_diagnostics(diagnostics);
+    }
+
+    for dep in &p.deps {
+        let span = Span::Cell {
+            page: dep.from_page,
+            slot: dep.from_time % p.ii,
+        };
+        let ring_ok = dep.to_page == dep.from_page
+            || dep.to_page == dep.from_page + 1
+            || (dep.from_page + 1 == p.num_pages && dep.to_page == 0);
+        if !ring_ok {
+            diagnostics.push(Diagnostic::new(
+                Code::A204PagedDepNotRing,
+                span,
+                format!(
+                    "dependence to page {} skips or reverses the ring",
+                    dep.to_page
+                ),
+            ));
+            continue;
+        }
+        if dep.to_time <= dep.from_time {
+            diagnostics.push(Diagnostic::new(
+                Code::A204PagedDepNotRing,
+                span,
+                format!(
+                    "consumer at {} not after producer at {}",
+                    dep.to_time, dep.from_time
+                ),
+            ));
+            continue;
+        }
+        // §VI-B register-usage bound for the park itself.
+        let needed =
+            RotatingRf::registers_for_range(dep.from_time as u64, dep.to_time as u64, p.ii.max(1));
+        if needed > rf_size as u32 {
+            diagnostics.push(Diagnostic::new(
+                Code::A202DepOverparked,
+                span,
+                format!(
+                    "park of {} cycles needs {needed} rotating registers, file holds {rf_size}",
+                    dep.gap()
+                ),
+            ));
+        }
+    }
+
+    Report::from_diagnostics(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_core::PageDep;
+
+    #[test]
+    fn synthetic_schedules_are_clean() {
+        for wrap in [false, true] {
+            let p = PagedSchedule::synthetic_canonical(8, 2, wrap);
+            let rep = analyze_paged(&p, 8);
+            assert!(rep.is_clean(), "wrap={wrap}: {}", rep.render());
+        }
+    }
+
+    #[test]
+    fn extracted_schedules_are_clean() {
+        let cgra = cgra_arch::CgraConfig::square(4);
+        for k in cgra_dfg::kernels::all() {
+            let r = cgra_mapper::map_constrained(&k, &cgra, &cgra_mapper::MapOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let ps = PagedSchedule::from_mapping(&r, &cgra).unwrap();
+            let rep = analyze_paged(&ps, cgra.rf().size());
+            assert!(rep.is_clean(), "{}: {}", k.name, rep.render());
+        }
+    }
+
+    #[test]
+    fn backwards_and_overparked_deps_are_flagged() {
+        let mut p = PagedSchedule::synthetic_canonical(4, 2, false);
+        p.deps.push(PageDep {
+            from_page: 3,
+            from_time: 0,
+            to_page: 1,
+            to_time: 1,
+        });
+        p.deps.push(PageDep {
+            from_page: 0,
+            from_time: 0,
+            to_page: 1,
+            to_time: 1 + 2 * 8 * 4, // park needs 8·4/II+1 = 17 regs
+        });
+        let rep = analyze_paged(&p, 8);
+        assert!(rep.codes().contains(&Code::A204PagedDepNotRing));
+        assert!(rep.codes().contains(&Code::A202DepOverparked));
+    }
+}

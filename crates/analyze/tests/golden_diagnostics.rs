@@ -1,0 +1,45 @@
+//! Golden JSON snapshot of the analyzer's diagnostics for one
+//! seeded-broken FIR mapping (the `shift-producer-late` mutant under
+//! seed 42). Pins the exact codes, spans, severities and message text —
+//! renderer drift and code renumbering both show up as byte diffs.
+//!
+//! Refresh intentionally with
+//! `UPDATE_GOLDEN=1 cargo test -p cgra-analyze --test golden_diagnostics`.
+
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot {name} diverged; if intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn broken_fir_diagnostics_match_golden() {
+    let report = cgra_analyze::mutate::broken_fir_report(42);
+    assert!(report.has_errors(), "the mutant must not analyze clean");
+    let mut json = report.to_json().pretty();
+    json.push('\n');
+    check_golden("fir_broken.json", &json);
+    // The human renderer is pinned too — one line per diagnostic.
+    check_golden("fir_broken.txt", &report.render());
+}

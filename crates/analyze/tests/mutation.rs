@@ -1,0 +1,96 @@
+//! Mutation-tested verification of the analyzer (the tentpole's own
+//! self-test): every seeded operator must be killed with its expected
+//! code class, and every diagnostic code must be reachable.
+
+use cgra_analyze::mutate::{operators, run_all, Artifacts};
+use cgra_analyze::Code;
+
+/// Seeds chosen to vary every seeded operator's mutation site.
+const SEEDS: [u64; 4] = [0, 1, 42, 0xC6_4A11];
+
+#[test]
+fn fixtures_are_known_good() {
+    let rep = Artifacts::build().baseline_report();
+    assert!(
+        !rep.has_errors(),
+        "fixtures must analyze clean:\n{}",
+        rep.render()
+    );
+}
+
+#[test]
+fn every_mutant_is_killed_under_every_seed() {
+    for seed in SEEDS {
+        let outcomes = run_all(seed);
+        let survivors: Vec<_> = outcomes.iter().filter(|o| !o.killed()).collect();
+        assert!(
+            survivors.is_empty(),
+            "seed {seed}: {} of {} mutants survived: {:?}",
+            survivors.len(),
+            outcomes.len(),
+            survivors
+                .iter()
+                .map(|o| (o.name, o.expected, o.report.codes()))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_code_is_produced_by_some_operator() {
+    let produced: std::collections::HashSet<Code> =
+        run_all(0).iter().flat_map(|o| o.report.codes()).collect();
+    let missing: Vec<Code> = Code::ALL
+        .iter()
+        .copied()
+        .filter(|c| !produced.contains(c))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "codes no operator can produce: {missing:?}"
+    );
+}
+
+#[test]
+fn every_operator_expects_a_distinct_failure_it_actually_causes() {
+    // The declared expectation must be among the produced codes (that is
+    // `killed`), and the library must cover all code classes by
+    // expectation except the shared A005 (two dataflow operators).
+    let ops = operators();
+    assert!(
+        ops.len() >= 15,
+        "ISSUE requires ~15+ operators, have {}",
+        ops.len()
+    );
+    let expected: std::collections::HashSet<Code> = ops.iter().map(|o| o.expected).collect();
+    assert_eq!(
+        expected.len(),
+        Code::ALL.len(),
+        "every code class needs an operator whose expectation is exactly it"
+    );
+}
+
+#[test]
+fn kill_rate_report() {
+    // Not an assertion beyond totals — prints the per-operator table so
+    // `cargo test -p cgra-analyze -- --nocapture kill_rate` doubles as
+    // the EXPERIMENTS.md kill-rate report.
+    let outcomes = run_all(42);
+    let killed = outcomes.iter().filter(|o| o.killed()).count();
+    println!("mutation kill rate: {killed}/{} (seed 42)", outcomes.len());
+    for o in &outcomes {
+        println!(
+            "  {:28} expected {:4} -> {} [{}]",
+            o.name,
+            o.expected.as_str(),
+            if o.killed() { "killed" } else { "SURVIVED" },
+            o.report
+                .codes()
+                .iter()
+                .map(|c| c.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    assert_eq!(killed, outcomes.len());
+}

@@ -14,6 +14,10 @@
 //!                 (cache hits emit nothing; pair with --no-cache for a
 //!                 complete trace)
 //!   --metrics     print event counters after the sweep
+//!   --analyze     after the sweep, statically analyze every pipeline
+//!                 artifact on the paper grid with cgra-analyze
+//!                 (report on stderr; exit 1 on error diagnostics;
+//!                 stdout is byte-identical to a run without the flag)
 
 use cgra_bench::engine::{Engine, EngineConfig};
 use cgra_bench::fig8;
@@ -25,6 +29,7 @@ fn main() {
     let cfg = EngineConfig::from_args(&args);
     let engine = Engine::new(cfg);
     let obs = ObsFlags::from_args(&args);
+    let analyze = args.iter().any(|a| a == "--analyze");
     let cache = if cfg.use_cache {
         MapCache::persistent().traced(obs.tracer.clone())
     } else {
@@ -43,7 +48,7 @@ fn main() {
             );
         }
         eprintln!("mapcache: {:?}", cache.stats());
-        obs.finish();
+        finish(&obs, analyze);
         return;
     }
     let points = fig8::run_all_with(&engine, &cache);
@@ -78,7 +83,7 @@ fn main() {
                 &rows
             )
         );
-        obs.finish();
+        finish(&obs, analyze);
         return;
     }
 
@@ -90,5 +95,16 @@ fn main() {
     for (dim, size, gm) in fig8::summary(&points) {
         println!("{dim}x{dim}  page {size:>2}: {gm:6.1}%");
     }
+    finish(&obs, analyze);
+}
+
+/// `--analyze` runs after the sweep so a clean run's stdout is already
+/// complete and byte-identical; diagnostics go to stderr and an error
+/// anywhere fails the run.
+fn finish(obs: &ObsFlags, analyze: bool) {
+    let failed = analyze && cgra_bench::lint::analyze_grid_to_stderr();
     obs.finish();
+    if failed {
+        std::process::exit(1);
+    }
 }

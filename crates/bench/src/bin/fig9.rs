@@ -20,6 +20,11 @@
 //!   --trace PATH          append every mapper/transform/simulator event
 //!                         to PATH as JSONL (replayable by trace_oracle)
 //!   --metrics             print event counters and cycle histograms
+//!   --analyze             after the sweep, statically analyze every
+//!                         pipeline artifact on the paper grid with
+//!                         cgra-analyze (report on stderr; exit 1 on
+//!                         error diagnostics; stdout is byte-identical
+//!                         to a run without the flag)
 //!                         after the sweep
 
 use cgra_arch::FaultSpec;
@@ -33,6 +38,7 @@ fn main() {
     let cfg = EngineConfig::from_args(&args);
     let engine = Engine::new(cfg);
     let obs = ObsFlags::from_args(&args);
+    let analyze = args.iter().any(|a| a == "--analyze");
     let cache = LibCache::for_config_traced(cfg, obs.tracer.clone());
 
     let mut params = Fig9Params::default();
@@ -48,7 +54,7 @@ fn main() {
         for (overhead, imp) in fig9::ablation_overhead(&cache, 8, 4) {
             println!("{overhead:>8}, {imp:+.1}%");
         }
-        obs.finish();
+        finish(&obs, analyze);
         return;
     }
     if args.iter().any(|a| a == "--ablation-policy") {
@@ -56,7 +62,7 @@ fn main() {
         for (name, imp) in fig9::ablation_policy(&cache, 8, 4) {
             println!("{name:>16}: {imp:+.1}%");
         }
-        obs.finish();
+        finish(&obs, analyze);
         return;
     }
 
@@ -83,7 +89,7 @@ fn main() {
                 fig9::degradation_curve_traced(&engine, &cache, 8, 4, base, &params, &obs.tracer);
             println!("{}", fig9::render_curve(&curve));
             eprintln!("mapcache: {:?}", cache.map_cache().stats());
-            obs.finish();
+            finish(&obs, analyze);
             return;
         }
     }
@@ -124,7 +130,7 @@ fn main() {
                 &rows
             )
         );
-        obs.finish();
+        finish(&obs, analyze);
         if !errors.is_empty() {
             std::process::exit(1);
         }
@@ -139,8 +145,19 @@ fn main() {
     for (dim, best) in fig9::headline(&points) {
         println!("{dim}x{dim}: best improvement at 16 threads = {best:+.1}%");
     }
-    obs.finish();
+    finish(&obs, analyze);
     if !errors.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// `--analyze` runs after the sweep so a clean run's stdout is already
+/// complete and byte-identical; diagnostics go to stderr and an error
+/// anywhere fails the run.
+fn finish(obs: &ObsFlags, analyze: bool) {
+    let failed = analyze && cgra_bench::lint::analyze_grid_to_stderr();
+    obs.finish();
+    if failed {
         std::process::exit(1);
     }
 }

@@ -15,6 +15,8 @@
 //! * [`mapcache`] — content-keyed mapping / II-table cache, optionally
 //!   persisted to `target/mapcache` (`--no-cache` disables it).
 //! * [`libcache`] — compiled kernel-library facade over the map cache.
+//! * [`lint`] — the `cgra-lint` pipeline linter over `cgra-analyze`
+//!   (also behind the figure binaries' `--analyze` flag).
 //! * [`jsonio`] — dependency-free JSON codec backing the disk cache
 //!   (re-exported from `cgra-obs`, which also uses it for JSONL traces).
 //! * [`microbench`] — minimal wall-clock benchmark harness for the
@@ -31,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub use cgra_obs::jsonio;
 pub mod libcache;
+pub mod lint;
 pub mod mapcache;
 pub mod microbench;
 pub mod obsflags;

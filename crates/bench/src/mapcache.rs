@@ -361,7 +361,20 @@ fn parse_entry(text: &str, key: &Key) -> Option<KernelProfile> {
     (doc.get("dim")?.as_int()? == key.dim as i64).then_some(())?;
     (doc.get("page_size")?.as_int()? == key.page_size as i64).then_some(())?;
     (u64_from(doc.get("opts_fp"))? == key.opts_fp).then_some(())?;
-    profile_from_json(doc.get("profile")?)
+    let profile = profile_from_json(doc.get("profile")?)?;
+    // Key match only proves the entry is *for* this request; the profile
+    // itself may still have been corrupted on disk. Re-derive its
+    // invariants before trusting it.
+    let n = (key.dim as usize * key.dim as usize / key.page_size) as u16;
+    let report = cgra_analyze::analyze_profile(
+        &profile.name,
+        profile.ii_baseline,
+        profile.ii_constrained,
+        profile.used_pages,
+        &profile.ii_by_pages,
+        n,
+    );
+    (!report.has_errors()).then_some(profile)
 }
 
 /// Explicit JSON encoding of a [`KernelProfile`] (the workspace `serde`
@@ -491,6 +504,40 @@ mod tests {
         let fourth = MapCache::persistent_at(&dir);
         fourth.profile(&k, &fabric, &opts);
         assert_eq!(fourth.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn semantically_corrupt_entry_is_rejected_by_the_analyzer() {
+        // Well-formed JSON with matching key fields, but a profile whose
+        // numbers an analyzer pass can prove wrong: only the semantic
+        // check in `parse_entry` can catch this.
+        let dir = std::env::temp_dir().join(format!("mapcache-sem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fabric = cgra(4, 4);
+        let opts = MapOptions::default();
+        let k = cgra_dfg::kernels::fir();
+
+        let first = MapCache::persistent_at(&dir);
+        let computed = first.profile(&k, &fabric, &opts);
+
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            // 99 used pages on a 4-page fabric — A405 on load.
+            let broken = text.replace(
+                &format!("\"used_pages\": {}", computed.used_pages),
+                "\"used_pages\": 99",
+            );
+            assert_ne!(broken, text, "corruption must actually hit the entry");
+            std::fs::write(&path, broken).unwrap();
+        }
+
+        let second = MapCache::persistent_at(&dir);
+        let recomputed = second.profile(&k, &fabric, &opts);
+        assert_eq!(*computed, *recomputed);
+        let s = second.stats();
+        assert_eq!((s.misses, s.disk_rejects), (1, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

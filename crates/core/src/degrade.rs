@@ -101,8 +101,13 @@ pub fn transform_degraded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::validate::validate_degraded_plan;
     use cgra_arch::PageHealth;
+
+    // Legality auditing lives in `tests/degrade_audit.rs`: the
+    // independent analyzer (`cgra-analyze`) is a dev-dependency cycle,
+    // so it can only link against this crate's *library* instance —
+    // unit tests here check structure, the integration test re-derives
+    // legality.
 
     #[test]
     fn zero_faults_is_plain_shrink() {
@@ -113,7 +118,6 @@ mod tests {
         assert_eq!(d.column_pages, (0..8).collect::<Vec<u16>>());
         assert!(d.dead_pages.is_empty());
         assert!(!d.touches_degraded());
-        assert!(validate_degraded_plan(&p, &d, &faults).is_empty());
     }
 
     #[test]
@@ -127,7 +131,6 @@ mod tests {
         assert_eq!(d.effective_pages, 4);
         assert_eq!(d.column_pages, vec![3, 4, 5, 6]);
         assert_eq!(d.dead_pages, vec![2]);
-        assert!(validate_degraded_plan(&p, &d, &faults).is_empty());
     }
 
     #[test]
@@ -139,7 +142,6 @@ mod tests {
         assert_eq!(d.effective_pages, 4);
         assert_eq!(d.degraded_pages, vec![1]);
         assert!(d.touches_degraded());
-        assert!(validate_degraded_plan(&p, &d, &faults).is_empty());
     }
 
     #[test]
@@ -177,6 +179,5 @@ mod tests {
         let d = transform_degraded(&ps, &faults, ps.num_pages, Strategy::Auto).unwrap();
         assert_eq!(d.effective_pages, ps.num_pages - 1);
         assert_eq!(d.column_pages.first(), Some(&1));
-        assert!(validate_degraded_plan(&ps, &d, &faults).is_empty());
     }
 }

@@ -51,4 +51,4 @@ pub use fold::{fold_to_page, validate_fold, FoldedSchedule};
 pub use paged::{Discipline, PageDep, PagedSchedule};
 pub use pagemaster::{transform_pagemaster, transform_pagemaster_degraded};
 pub use transform::{transform_block, transform_traced, ShrinkPlan, Strategy, TransformError};
-pub use validate::{is_slot_optimal, validate_degraded_plan, validate_plan, TransformViolation};
+pub use validate::{is_slot_optimal, validate_plan, TransformViolation};

@@ -255,44 +255,6 @@ pub fn validate_plan(p: &PagedSchedule, plan: &ShrinkPlan) -> Vec<TransformViola
     violations
 }
 
-/// Validate a [`DegradedPlan`](crate::degrade::DegradedPlan): the inner
-/// plan must pass [`validate_plan`], and additionally **no op may land on
-/// a dead page** — every plan column must be backed by a distinct,
-/// usable, in-range physical page, and the backing pages must form one
-/// contiguous ascending run (ring routability).
-pub fn validate_degraded_plan(
-    p: &PagedSchedule,
-    d: &crate::degrade::DegradedPlan,
-    faults: &cgra_arch::FaultMap,
-) -> Vec<TransformViolation> {
-    let mut violations = validate_plan(p, &d.plan);
-
-    let pages = &d.column_pages;
-    if pages.len() != d.plan.m as usize || d.effective_pages != d.plan.m {
-        violations.push(TransformViolation::ColumnsNotContiguous {
-            pages: pages.clone(),
-        });
-    }
-    for (col, &page) in pages.iter().enumerate() {
-        let dead = page >= faults.num_pages() || !faults.is_usable(page);
-        if dead {
-            violations.push(TransformViolation::OpOnDeadPage {
-                col: col as u16,
-                page,
-            });
-        }
-    }
-    if pages.windows(2).any(|w| w[1] != w[0] + 1) {
-        violations.push(TransformViolation::ColumnsNotContiguous {
-            pages: pages.clone(),
-        });
-    }
-
-    violations.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-    violations.dedup();
-    violations
-}
-
 /// Whether the plan fills *every* (column, cycle) slot — the paper's
 /// optimality criterion ("a page from P scheduled in every location in
 /// Q"). Only attainable when all cells are occupied and `M · II_q` equals

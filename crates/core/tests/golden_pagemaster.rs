@@ -18,7 +18,7 @@
 use cgra_arch::{FaultMap, PageHealth};
 use cgra_core::degrade::{transform_degraded, DegradedPlan};
 use cgra_core::transform::{transform, Strategy};
-use cgra_core::{validate_degraded_plan, validate_plan, PagedSchedule, ShrinkPlan};
+use cgra_core::{validate_plan, PagedSchedule, ShrinkPlan};
 use cgra_mapper::{map_constrained, MapOptions};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -154,8 +154,8 @@ fn degraded_plan_matches_golden_and_validates() {
     let degraded = transform_degraded(&paged, &faults, paged.num_pages, Strategy::Auto)
         .expect("survives one dead page");
     assert_eq!(degraded.effective_pages, paged.num_pages - 1);
-    let violations = validate_degraded_plan(&paged, &degraded, &faults);
-    assert!(violations.is_empty(), "{violations:?}");
+    let report = cgra_analyze::analyze_degraded(&paged, &degraded, &faults);
+    assert!(!report.has_errors(), "{}", report.render());
     check_golden(
         &format!("{KERNEL}_degraded_dead0.txt"),
         &render_degraded(&degraded),

@@ -66,11 +66,34 @@ impl KernelProfile {
     ) -> Result<Self, MapError> {
         let base = map_baseline_traced(dfg, cgra, opts, tracer)?;
         let cons = map_constrained_traced(dfg, cgra, opts, tracer)?;
+        // Debug builds re-audit every artifact with the independent
+        // static analyzer; release builds trust the producing code.
+        #[cfg(debug_assertions)]
+        for r in [&base, &cons] {
+            let rep = cgra_analyze::analyze_mapping(&r.mdfg, cgra, &r.mapping, r.mode);
+            debug_assert!(
+                !rep.has_errors(),
+                "{} mapping ({:?}) failed analysis:\n{}",
+                dfg.name,
+                r.mode,
+                rep.render()
+            );
+        }
         let paged = PagedSchedule::from_mapping(&cons, cgra)
             .map_err(|e| MapError::Unmappable {
                 reason: e.to_string(),
             })?
             .trimmed();
+        #[cfg(debug_assertions)]
+        {
+            let rep = cgra_analyze::analyze_paged(&paged, cgra.rf().size());
+            debug_assert!(
+                !rep.has_errors(),
+                "{} paged schedule failed analysis:\n{}",
+                dfg.name,
+                rep.render()
+            );
+        }
         let used = paged.num_pages;
         let n = cgra.layout().num_pages() as u16;
         let mut ii_by_pages = Vec::new();
@@ -85,14 +108,36 @@ impl KernelProfile {
                         reason: format!("transform to {m} pages: {e}"),
                     }
                 })?;
-                debug_assert!(
-                    cgra_core::validate::validate_plan(&paged, &plan).is_empty(),
-                    "invalid plan for {} at M={m}",
-                    dfg.name
-                );
+                #[cfg(debug_assertions)]
+                {
+                    let rep = cgra_analyze::analyze_plan(&paged, &plan);
+                    debug_assert!(
+                        !rep.has_errors(),
+                        "{} plan at M={m} failed analysis:\n{}",
+                        dfg.name,
+                        rep.render()
+                    );
+                }
                 plan.ii_q_ceil()
             };
             ii_by_pages.push((m, ii_q));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let rep = cgra_analyze::analyze_profile(
+                &dfg.name,
+                base.ii(),
+                cons.ii(),
+                used,
+                &ii_by_pages,
+                n,
+            );
+            debug_assert!(
+                !rep.has_errors(),
+                "{} profile failed analysis:\n{}",
+                dfg.name,
+                rep.render()
+            );
         }
         Ok(KernelProfile {
             name: dfg.name.clone(),

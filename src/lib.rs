@@ -21,6 +21,9 @@
 //! * [`obs`] — zero-cost-when-off observability: typed trace events from
 //!   the mapper/transform/simulator, JSONL sinks, folded metrics, and
 //!   the trace-replay oracle.
+//! * [`analyze`] — the whole-pipeline static analyzer: coded diagnostics
+//!   (`A001`–`A405`) re-deriving every artifact's legality from first
+//!   principles, independent of the code that produced it.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@
 
 pub mod kernel_text;
 
+pub use cgra_analyze as analyze;
 pub use cgra_arch as arch;
 pub use cgra_core as core;
 pub use cgra_dfg as dfg;
@@ -55,14 +59,17 @@ pub use cgra_sim as sim;
 
 /// The commonly-used surface in one import.
 pub mod prelude {
+    pub use cgra_analyze::{
+        analyze_degraded, analyze_fold, analyze_mapping, analyze_paged, analyze_plan,
+        analyze_profile, Code, Diagnostic, Report, Severity, Span,
+    };
     pub use cgra_arch::{
         CgraConfig, FaultKind, FaultMap, FaultSpec, Mesh, Orientation, PageHealth, PageId, PeId,
     };
     pub use cgra_core::transform::{transform, Strategy};
     pub use cgra_core::{
-        fold_to_page, transform_block, transform_degraded, transform_pagemaster,
-        validate_degraded_plan, validate_fold, validate_plan, DegradedPlan, PagedSchedule,
-        ShrinkPlan,
+        fold_to_page, transform_block, transform_degraded, transform_pagemaster, validate_fold,
+        validate_plan, DegradedPlan, PagedSchedule, ShrinkPlan,
     };
     pub use cgra_dfg::{Dfg, DfgBuilder, OpKind};
     pub use cgra_exec::{execute, interpret, ExecError, InputStreams, MachineSchedule};
