@@ -9,7 +9,8 @@
 //! * `A2xx` — paging constraints (§VI-B): ring discipline, paged
 //!   dependences, shrink-plan legality, fold/mirror legality.
 //! * `A3xx` — degradation analysis of a [`DegradedPlan`] against a
-//!   [`FaultMap`].
+//!   [`FaultMap`], and recovery analysis (`A31x`) of a
+//!   [`RecoveryPlan`] re-expanding onto repaired pages.
 //! * `A4xx` — profile/cache-entry semantic integrity.
 //!
 //! Codes are **stable**: external tooling may match on them, so a code
@@ -17,6 +18,7 @@
 //!
 //! [`Mapping`]: cgra_mapper::Mapping
 //! [`DegradedPlan`]: cgra_core::DegradedPlan
+//! [`RecoveryPlan`]: cgra_core::RecoveryPlan
 //! [`FaultMap`]: cgra_arch::FaultMap
 
 use cgra_obs::jsonio::Json;
@@ -91,6 +93,16 @@ pub enum Code {
     A305FaultBookkeeping,
     /// A column is backed by a degraded (slow but usable) page.
     A306ColumnOnDegradedPage,
+    /// A recovery plan re-places work on a page that is still dead or
+    /// mid-repair (repaired-page reuse legality).
+    A310RecoveryOnUnrepairedPage,
+    /// A recovery plan activates a repaired page before its quarantine
+    /// window elapsed.
+    A311QuarantineViolated,
+    /// A recovery plan resumes at a different iteration than the thread
+    /// completed — iterations were lost (or replayed) across the
+    /// shrink → repair → expand round trip.
+    A312IterationLoss,
     /// A profile claims a zero initiation interval.
     A401ProfileBadIi,
     /// A profile's constrained II is below its baseline II.
@@ -106,7 +118,7 @@ pub enum Code {
 impl Code {
     /// Every code, in ascending numeric order. The mutation suite
     /// asserts each one is produced by at least one operator.
-    pub const ALL: [Code; 34] = [
+    pub const ALL: [Code; 37] = [
         Code::A001PeSlotConflict,
         Code::A002BusOverflow,
         Code::A003MissingFu,
@@ -136,6 +148,9 @@ impl Code {
         Code::A304DegradedShapeMismatch,
         Code::A305FaultBookkeeping,
         Code::A306ColumnOnDegradedPage,
+        Code::A310RecoveryOnUnrepairedPage,
+        Code::A311QuarantineViolated,
+        Code::A312IterationLoss,
         Code::A401ProfileBadIi,
         Code::A402ProfileConstraintInverted,
         Code::A403ProfileOffChain,
@@ -175,6 +190,9 @@ impl Code {
             Code::A304DegradedShapeMismatch => "A304",
             Code::A305FaultBookkeeping => "A305",
             Code::A306ColumnOnDegradedPage => "A306",
+            Code::A310RecoveryOnUnrepairedPage => "A310",
+            Code::A311QuarantineViolated => "A311",
+            Code::A312IterationLoss => "A312",
             Code::A401ProfileBadIi => "A401",
             Code::A402ProfileConstraintInverted => "A402",
             Code::A403ProfileOffChain => "A403",

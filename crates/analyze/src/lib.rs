@@ -27,6 +27,8 @@
 //!   (`A22x`).
 //! * [`analyze_degraded`] — degradation legality against a fault map
 //!   (`A30x`).
+//! * [`analyze_recovery`] — post-repair re-expansion legality: repaired
+//!   page reuse, quarantine, and iteration conservation (`A31x`).
 //! * [`analyze_profile`] — semantic integrity of cached kernel profiles
 //!   (`A40x`).
 //!
@@ -51,6 +53,7 @@ pub mod mutate;
 pub mod paged;
 pub mod plan;
 pub mod profile;
+pub mod recovery;
 
 pub use degrade::analyze_degraded;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
@@ -59,3 +62,4 @@ pub use mapping::{analyze_mapping, diagnostic_from_violation};
 pub use paged::analyze_paged;
 pub use plan::{analyze_plan, diagnostic_from_transform_violation};
 pub use profile::analyze_profile;
+pub use recovery::analyze_recovery;

@@ -24,13 +24,17 @@ use std::collections::HashMap;
 use cgra_arch::{CgraConfig, FaultMap, PageHealth, PageId, PeCapability, PeId};
 use cgra_core::fold::fold_to_page;
 use cgra_core::transform::{transform_block, Strategy};
-use cgra_core::{transform_degraded, DegradedPlan, FoldedSchedule, PageDep, PagedSchedule};
+use cgra_core::{
+    plan_recovery, transform_degraded, DegradedPlan, FoldedSchedule, PageDep, PagedSchedule,
+    RecoveryPlan, RepairedPage,
+};
 use cgra_dfg::{kernels, DfgBuilder, OpKind};
 use cgra_mapper::{map_constrained, MapDfg, MapOptions, MapResult, Mapping, Placement};
 
 use crate::diag::{Code, Report};
 use crate::{
     analyze_degraded, analyze_fold, analyze_mapping, analyze_paged, analyze_plan, analyze_profile,
+    analyze_recovery,
 };
 
 /// The known-good artifacts every operator mutates. Built once per run;
@@ -45,6 +49,8 @@ pub struct Artifacts {
     parked_plan: cgra_core::ShrinkPlan,
     faults: FaultMap,
     degraded: DegradedPlan,
+    healed: FaultMap,
+    recovery: RecoveryPlan,
     cgra_rf32: CgraConfig,
     fir32: MapResult,
     folded: FoldedSchedule,
@@ -78,6 +84,19 @@ impl Artifacts {
         faults.mark_page(2, PageHealth::Dead);
         let degraded = transform_degraded(&p8, &faults, 4, Strategy::Auto).expect("degrades");
 
+        // The dead page repairs (Dead → Repairing → Healthy) and the
+        // thread re-expands back to the full ring after the quarantine.
+        let mut healed = faults.clone();
+        healed.begin_repair(2);
+        healed.complete_repair(2);
+        let repaired = [RepairedPage {
+            page: 2,
+            repaired_at: 1_000,
+            activated_at: 1_064,
+        }];
+        let recovery = plan_recovery(&p8, &degraded, &healed, &repaired, 64, 42, Strategy::Auto)
+            .expect("recovers");
+
         let cgra_rf32 = CgraConfig::square(4).with_rf_size(32);
         let fir32 = map_constrained(&kernels::fir(), &cgra_rf32, &opts).expect("fir maps rf32");
         let folded = fold_to_page(&fir32, &cgra_rf32, PageId(0)).expect("fir folds");
@@ -94,6 +113,8 @@ impl Artifacts {
             parked_plan,
             faults,
             degraded,
+            healed,
+            recovery,
             cgra_rf32,
             fir32,
             folded,
@@ -115,6 +136,7 @@ impl Artifacts {
         let (b, c, u, t) = good_profile();
         rep = rep.merge(analyze_profile("fixture", b, c, u, &t, 4));
         rep.merge(analyze_degraded(&self.p8, &self.degraded, &self.faults))
+            .merge(analyze_recovery(&self.p8, &self.recovery, &self.healed))
     }
 }
 
@@ -520,6 +542,29 @@ fn degrade_backing_page(a: &Artifacts, _s: &mut u64) -> Report {
     analyze_degraded(&a.p8, &d, &faults)
 }
 
+// --- A31x: recovery mutants ---------------------------------------------
+
+fn reexpand_before_repair(a: &Artifacts, _s: &mut u64) -> Report {
+    // The recovery plan is analyzed against the *pre-repair* fault map:
+    // page 2 is still dead, so the column it backs is illegal reuse.
+    analyze_recovery(&a.p8, &a.recovery, &a.faults)
+}
+
+fn jump_quarantine(a: &Artifacts, s: &mut u64) -> Report {
+    let mut r = a.recovery.clone();
+    // Activate somewhere strictly inside the quarantine window.
+    let early = next(s) % r.quarantine;
+    r.repaired[0].activated_at = r.repaired[0].repaired_at + early;
+    analyze_recovery(&a.p8, &r, &a.healed)
+}
+
+fn lose_iterations(a: &Artifacts, s: &mut u64) -> Report {
+    let mut r = a.recovery.clone();
+    // Resume anywhere but where the thread left off.
+    r.resume_iteration = r.completed_iterations + 1 + next(s) % 7;
+    analyze_recovery(&a.p8, &r, &a.healed)
+}
+
 // --- A22x: fold mutants -------------------------------------------------
 
 fn escape_target_page(a: &Artifacts, s: &mut u64) -> Report {
@@ -650,9 +695,9 @@ pub fn operators() -> Vec<Operator> {
         A220FoldOutsidePage, A221FoldSlotCollision, A222FoldBrokenStep, A223FoldBackwardsStep,
         A224FoldRfOverflow, A225OrientationPlanMismatch, A301OpOnDeadPage,
         A302ColumnsNotContiguous, A303RemapNotBijective, A304DegradedShapeMismatch,
-        A305FaultBookkeeping, A306ColumnOnDegradedPage, A401ProfileBadIi,
-        A402ProfileConstraintInverted, A403ProfileOffChain, A404ProfileNotMonotone,
-        A405ProfileUsedPagesOutOfRange,
+        A305FaultBookkeeping, A306ColumnOnDegradedPage, A310RecoveryOnUnrepairedPage,
+        A311QuarantineViolated, A312IterationLoss, A401ProfileBadIi, A402ProfileConstraintInverted,
+        A403ProfileOffChain, A404ProfileNotMonotone, A405ProfileUsedPagesOutOfRange,
     };
     vec![
         Operator {
@@ -774,6 +819,21 @@ pub fn operators() -> Vec<Operator> {
             name: "degrade-backing-page",
             expected: A306ColumnOnDegradedPage,
             run: degrade_backing_page,
+        },
+        Operator {
+            name: "reexpand-before-repair",
+            expected: A310RecoveryOnUnrepairedPage,
+            run: reexpand_before_repair,
+        },
+        Operator {
+            name: "jump-quarantine",
+            expected: A311QuarantineViolated,
+            run: jump_quarantine,
+        },
+        Operator {
+            name: "lose-iterations",
+            expected: A312IterationLoss,
+            run: lose_iterations,
         },
         Operator {
             name: "escape-target-page",

@@ -31,6 +31,10 @@ pub enum PageHealth {
     Degraded,
     /// Unusable; no op may be placed on it.
     Dead,
+    /// A transient fault cleared and repair is under way; the page is
+    /// still unusable until repair completes (Dead → Repairing →
+    /// Healthy).
+    Repairing,
 }
 
 /// Health of every page in a fabric, in ring order.
@@ -87,14 +91,45 @@ impl FaultMap {
         self.health[page as usize]
     }
 
-    /// Whether a page can still execute ops (healthy or degraded).
+    /// Whether a page can still execute ops (healthy or degraded). A
+    /// page under repair is *not* usable until repair completes.
     pub fn is_usable(&self, page: u16) -> bool {
-        self.health[page as usize] != PageHealth::Dead
+        matches!(
+            self.health[page as usize],
+            PageHealth::Healthy | PageHealth::Degraded
+        )
     }
 
     /// Set a page's health directly.
     pub fn mark_page(&mut self, page: u16, health: PageHealth) {
         self.health[page as usize] = health;
+    }
+
+    /// Dead → Repairing: a transient fault has cleared and the page is
+    /// being repaired. It stays unusable; only [`complete_repair`] makes
+    /// it healthy again. A page in any other state is left unchanged
+    /// (in particular a page re-struck while repairing stays whatever
+    /// the new fault made it).
+    ///
+    /// [`complete_repair`]: FaultMap::complete_repair
+    pub fn begin_repair(&mut self, page: u16) {
+        if self.health[page as usize] == PageHealth::Dead {
+            self.health[page as usize] = PageHealth::Repairing;
+        }
+    }
+
+    /// Repairing → Healthy: repair finished; the page's recorded PE
+    /// faults are cleared so majority-vote escalation restarts from
+    /// scratch if it is struck again. Only a page actually in
+    /// [`Repairing`] transitions — a page re-killed mid-repair stays
+    /// dead.
+    ///
+    /// [`Repairing`]: PageHealth::Repairing
+    pub fn complete_repair(&mut self, page: u16) {
+        if self.health[page as usize] == PageHealth::Repairing {
+            self.health[page as usize] = PageHealth::Healthy;
+            self.faulty_pes[page as usize].clear();
+        }
     }
 
     /// Record a faulty PE. The containing page becomes [`Degraded`]
@@ -152,6 +187,13 @@ impl FaultMap {
             .collect()
     }
 
+    /// Pages currently under repair, in ring order.
+    pub fn repairing_pages(&self) -> Vec<u16> {
+        (0..self.num_pages())
+            .filter(|&p| self.health(p) == PageHealth::Repairing)
+            .collect()
+    }
+
     /// Number of usable pages.
     pub fn usable_count(&self) -> u16 {
         self.usable_pages().len() as u16
@@ -193,8 +235,16 @@ impl FaultMap {
 pub enum FaultKind {
     /// The page becomes degraded (usable at reduced rate).
     Degrade,
-    /// The page dies.
+    /// The page dies, permanently.
     Kill,
+    /// The page dies, but the fault clears: repair begins
+    /// `repair_after` cycles after the strike (the MTTR), after which
+    /// the page transitions Dead → Repairing → Healthy and can be
+    /// re-offered to threads.
+    Transient {
+        /// Mean time to repair, in cycles after the strike.
+        repair_after: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -219,6 +269,11 @@ pub struct FaultEvent {
 ///   exponentially distributed inter-arrival times of mean `mean`
 ///   cycles, striking uniformly random pages; fully determined by `s`
 ///   (default 0)
+/// * either form may append `mttr=<cycles>` to make the faults
+///   transient: a struck page begins repair `cycles` after the strike
+///   and returns to the free pool once repaired (incompatible with
+///   `degrade` — a degraded page never died, so there is nothing to
+///   repair)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FaultSpec {
     /// No faults.
@@ -247,16 +302,100 @@ pub enum FaultSpec {
     },
 }
 
-/// Why a `--faults` spec failed to parse.
+/// Why a `--faults` spec failed to parse. Every variant names the
+/// offending clause and its byte offset into the original input, so
+/// front-ends can print a caret span under the bad text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FaultSpecError {
-    /// Human-readable reason.
-    pub reason: String,
+pub enum FaultSpecError {
+    /// A clause's keyword is known but its value does not parse.
+    BadValue {
+        /// The full offending clause, e.g. `at=x`.
+        clause: String,
+        /// Byte offset of the clause in the input.
+        offset: usize,
+        /// What a value of this clause must be.
+        expected: &'static str,
+    },
+    /// A clause whose keyword is not in the grammar.
+    UnknownClause {
+        /// The full offending clause.
+        clause: String,
+        /// Byte offset of the clause in the input.
+        offset: usize,
+    },
+    /// Two clauses contradict each other (e.g. `degrade` with `mttr=`:
+    /// a degraded page never died, so there is nothing to repair).
+    Conflict {
+        /// The later of the two clashing clauses.
+        clause: String,
+        /// Byte offset of that clause in the input.
+        offset: usize,
+        /// The earlier clause it clashes with.
+        with: &'static str,
+    },
+    /// The clauses parsed individually but do not assemble into a
+    /// complete spec (e.g. `at=` without `page=`).
+    Incomplete {
+        /// The whole input, for reporting.
+        clause: String,
+    },
+}
+
+impl FaultSpecError {
+    /// The offending clause text.
+    pub fn clause(&self) -> &str {
+        match self {
+            FaultSpecError::BadValue { clause, .. }
+            | FaultSpecError::UnknownClause { clause, .. }
+            | FaultSpecError::Conflict { clause, .. }
+            | FaultSpecError::Incomplete { clause } => clause,
+        }
+    }
+
+    /// `(byte offset, byte length)` of the offending clause in the
+    /// original input — the span a front-end should underline.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            FaultSpecError::BadValue { clause, offset, .. }
+            | FaultSpecError::UnknownClause { clause, offset }
+            | FaultSpecError::Conflict { clause, offset, .. } => (*offset, clause.len()),
+            FaultSpecError::Incomplete { clause } => (0, clause.len()),
+        }
+    }
 }
 
 impl std::fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bad fault spec: {}", self.reason)
+        match self {
+            FaultSpecError::BadValue {
+                clause,
+                offset,
+                expected,
+            } => write!(
+                f,
+                "bad fault spec: `{clause}` at byte {offset}: expected {expected}"
+            ),
+            FaultSpecError::UnknownClause { clause, offset } => {
+                write!(
+                    f,
+                    "bad fault spec: unknown clause `{clause}` at byte {offset}"
+                )
+            }
+            FaultSpecError::Conflict {
+                clause,
+                offset,
+                with,
+            } => write!(
+                f,
+                "bad fault spec: `{clause}` at byte {offset} conflicts with `{with}`"
+            ),
+            FaultSpecError::Incomplete { clause } => write!(
+                f,
+                "bad fault spec `{clause}`: expected `off`, \
+                 `at=<t>,page=<p>[,degrade|,mttr=<c>]`, or \
+                 `mtbf=<mean>,count=<n>[,seed=<s>][,degrade|,mttr=<c>]`"
+            ),
+        }
     }
 }
 
@@ -275,10 +414,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl FaultSpec {
     /// Parse a `--faults` spec string (see the type-level grammar).
-    pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
-        let err = |reason: String| Err(FaultSpecError { reason });
-        let s = s.trim();
-        if s.is_empty() || s == "off" || s == "none" || s == "0" {
+    /// Errors are typed and carry the offending clause plus its byte
+    /// offset into `input`, so callers can underline the bad span.
+    pub fn parse(input: &str) -> Result<FaultSpec, FaultSpecError> {
+        let trimmed = input.trim();
+        if trimmed.is_empty() || trimmed == "off" || trimmed == "none" || trimmed == "0" {
             return Ok(FaultSpec::Off);
         }
         let mut time = None;
@@ -287,33 +427,74 @@ impl FaultSpec {
         let mut count = None;
         let mut seed = 0u64;
         let mut kind = FaultKind::Kill;
-        for part in s.split(',') {
-            let part = part.trim();
+        let mut mttr: Option<u64> = None;
+        // Byte offset of the clause currently being scanned, relative
+        // to the *original* (untrimmed) input.
+        let mut offset = input.len() - input.trim_start().len();
+        for raw in trimmed.split(',') {
+            let part = raw.trim();
+            let at = offset + (raw.len() - raw.trim_start().len());
+            offset += raw.len() + 1; // clause + its trailing comma
+            let bad = |expected: &'static str| FaultSpecError::BadValue {
+                clause: part.to_string(),
+                offset: at,
+                expected,
+            };
             match part.split_once('=') {
                 Some(("at", v)) => match v.parse() {
                     Ok(t) => time = Some(t),
-                    Err(_) => return err(format!("at={v}: not a cycle count")),
+                    Err(_) => return Err(bad("a cycle count")),
                 },
                 Some(("page", v)) => match v.parse() {
                     Ok(p) => page = Some(p),
-                    Err(_) => return err(format!("page={v}: not a page index")),
+                    Err(_) => return Err(bad("a page index")),
                 },
                 Some(("mtbf", v)) => match v.parse::<u64>() {
                     Ok(m) if m > 0 => mean = Some(m),
-                    _ => return err(format!("mtbf={v}: need a positive cycle count")),
+                    _ => return Err(bad("a positive cycle count")),
                 },
                 Some(("count", v)) => match v.parse() {
                     Ok(c) => count = Some(c),
-                    Err(_) => return err(format!("count={v}: not a fault count")),
+                    Err(_) => return Err(bad("a fault count")),
                 },
                 Some(("seed", v)) => match v.parse() {
                     Ok(x) => seed = x,
-                    Err(_) => return err(format!("seed={v}: not a u64")),
+                    Err(_) => return Err(bad("a u64")),
                 },
-                None if part == "degrade" => kind = FaultKind::Degrade,
+                Some(("mttr", v)) => match v.parse::<u64>() {
+                    Ok(m) if m > 0 => {
+                        if kind == FaultKind::Degrade {
+                            return Err(FaultSpecError::Conflict {
+                                clause: part.to_string(),
+                                offset: at,
+                                with: "degrade",
+                            });
+                        }
+                        mttr = Some(m);
+                    }
+                    _ => return Err(bad("a positive repair time in cycles")),
+                },
+                None if part == "degrade" => {
+                    if mttr.is_some() {
+                        return Err(FaultSpecError::Conflict {
+                            clause: part.to_string(),
+                            offset: at,
+                            with: "mttr",
+                        });
+                    }
+                    kind = FaultKind::Degrade;
+                }
                 None if part == "kill" => kind = FaultKind::Kill,
-                _ => return err(format!("unknown field {part:?}")),
+                _ => {
+                    return Err(FaultSpecError::UnknownClause {
+                        clause: part.to_string(),
+                        offset: at,
+                    })
+                }
             }
+        }
+        if let Some(repair_after) = mttr {
+            kind = FaultKind::Transient { repair_after };
         }
         match (time, page, mean, count) {
             (Some(time), Some(page), None, None) => Ok(FaultSpec::At { time, page, kind }),
@@ -323,9 +504,9 @@ impl FaultSpec {
                 seed,
                 kind,
             }),
-            _ => err("expected `off`, `at=<t>,page=<p>[,degrade]`, or \
-                 `mtbf=<mean>,count=<n>[,seed=<s>][,degrade]`"
-                .into()),
+            _ => Err(FaultSpecError::Incomplete {
+                clause: trimmed.to_string(),
+            }),
         }
     }
 
@@ -419,18 +600,84 @@ impl FaultSpec {
             other => other,
         }
     }
+
+    /// The spec's fault kind, if it injects anything.
+    pub fn kind(&self) -> Option<FaultKind> {
+        match *self {
+            FaultSpec::Off => None,
+            FaultSpec::At { kind, .. } | FaultSpec::Mtbf { kind, .. } => Some(kind),
+        }
+    }
+
+    /// The repair interval, if the spec's faults are transient.
+    pub fn mttr(&self) -> Option<u64> {
+        match self.kind() {
+            Some(FaultKind::Transient { repair_after }) => Some(repair_after),
+            _ => None,
+        }
+    }
+
+    /// The same spec with its faults made transient, repairing
+    /// `repair_after` cycles after each strike (the mttr axis of a
+    /// recovery curve). `Off` passes through.
+    pub fn with_mttr(&self, repair_after: u64) -> FaultSpec {
+        let kind = FaultKind::Transient { repair_after };
+        match *self {
+            FaultSpec::Off => FaultSpec::Off,
+            FaultSpec::At { time, page, .. } => FaultSpec::At { time, page, kind },
+            FaultSpec::Mtbf {
+                mean, count, seed, ..
+            } => FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind,
+            },
+        }
+    }
+
+    /// The same spec with any transient kind made permanent — the
+    /// no-repair reference row of a recovery curve. `Degrade` and
+    /// `Kill` specs pass through unchanged.
+    pub fn permanent(&self) -> FaultSpec {
+        match *self {
+            FaultSpec::At {
+                time,
+                page,
+                kind: FaultKind::Transient { .. },
+            } => FaultSpec::At {
+                time,
+                page,
+                kind: FaultKind::Kill,
+            },
+            FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind: FaultKind::Transient { .. },
+            } => FaultSpec::Mtbf {
+                mean,
+                count,
+                seed,
+                kind: FaultKind::Kill,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind_suffix = |f: &mut std::fmt::Formatter<'_>, kind: &FaultKind| match kind {
+            FaultKind::Kill => Ok(()),
+            FaultKind::Degrade => write!(f, ",degrade"),
+            FaultKind::Transient { repair_after } => write!(f, ",mttr={repair_after}"),
+        };
         match self {
             FaultSpec::Off => write!(f, "off"),
             FaultSpec::At { time, page, kind } => {
                 write!(f, "at={time},page={page}")?;
-                if *kind == FaultKind::Degrade {
-                    write!(f, ",degrade")?;
-                }
-                Ok(())
+                kind_suffix(f, kind)
             }
             FaultSpec::Mtbf {
                 mean,
@@ -439,10 +686,7 @@ impl std::fmt::Display for FaultSpec {
                 kind,
             } => {
                 write!(f, "mtbf={mean},count={count},seed={seed}")?;
-                if *kind == FaultKind::Degrade {
-                    write!(f, ",degrade")?;
-                }
-                Ok(())
+                kind_suffix(f, kind)
             }
         }
     }
@@ -553,6 +797,167 @@ mod tests {
         assert!(FaultSpec::parse("mtbf=0,count=3").is_err());
         assert!(FaultSpec::parse("banana").is_err());
         assert!(FaultSpec::parse("at=x,page=1").is_err());
+        assert!(FaultSpec::parse("at=1,page=0,mttr=0").is_err());
+        assert!(FaultSpec::parse("at=1,page=0,mttr=x").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_clause_and_span() {
+        // The typed error names the offending clause and its byte
+        // offset in the *original* input, including leading whitespace
+        // and clause-internal trimming.
+        match FaultSpec::parse("at=x,page=1").unwrap_err() {
+            FaultSpecError::BadValue {
+                clause,
+                offset,
+                expected,
+            } => {
+                assert_eq!(clause, "at=x");
+                assert_eq!(offset, 0);
+                assert_eq!(expected, "a cycle count");
+            }
+            other => panic!("{other:?}"),
+        }
+        match FaultSpec::parse("at=1,banana").unwrap_err() {
+            FaultSpecError::UnknownClause { clause, offset } => {
+                assert_eq!(clause, "banana");
+                assert_eq!(offset, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Offsets survive surrounding whitespace.
+        let err = FaultSpec::parse("  at=1, page=zzz").unwrap_err();
+        assert_eq!(err.clause(), "page=zzz");
+        assert_eq!(err.span(), (8, 8));
+        // Incomplete assemblies span the whole (trimmed) input.
+        match FaultSpec::parse("at=5000").unwrap_err() {
+            FaultSpecError::Incomplete { clause } => assert_eq!(clause, "at=5000"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mttr_and_degrade_conflict_either_order() {
+        match FaultSpec::parse("at=1,page=0,degrade,mttr=50").unwrap_err() {
+            FaultSpecError::Conflict {
+                clause,
+                offset,
+                with,
+            } => {
+                assert_eq!(clause, "mttr=50");
+                assert_eq!(offset, 20);
+                assert_eq!(with, "degrade");
+            }
+            other => panic!("{other:?}"),
+        }
+        match FaultSpec::parse("at=1,page=0,mttr=50,degrade").unwrap_err() {
+            FaultSpecError::Conflict { clause, with, .. } => {
+                assert_eq!(clause, "degrade");
+                assert_eq!(with, "mttr");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mttr_clause_makes_faults_transient() {
+        assert_eq!(
+            FaultSpec::parse("at=100,page=1,mttr=500").unwrap(),
+            FaultSpec::At {
+                time: 100,
+                page: 1,
+                kind: FaultKind::Transient { repair_after: 500 }
+            }
+        );
+        // `kill` is the default; an explicit `kill` with `mttr` is
+        // simply a transient kill, whichever order they appear in.
+        assert_eq!(
+            FaultSpec::parse("mtbf=9000,count=3,mttr=250,kill").unwrap(),
+            FaultSpec::Mtbf {
+                mean: 9000,
+                count: 3,
+                seed: 0,
+                kind: FaultKind::Transient { repair_after: 250 }
+            }
+        );
+    }
+
+    #[test]
+    fn spec_kind_accessors_round_trip() {
+        let base = FaultSpec::parse("mtbf=8000,count=2,seed=7").unwrap();
+        assert_eq!(base.mttr(), None);
+        let transient = base.with_mttr(300);
+        assert_eq!(transient.mttr(), Some(300));
+        assert_eq!(
+            transient.kind(),
+            Some(FaultKind::Transient { repair_after: 300 })
+        );
+        // permanent() is the inverse direction back to plain kills.
+        assert_eq!(transient.permanent(), base);
+        assert_eq!(base.permanent(), base);
+        assert_eq!(FaultSpec::Off.with_mttr(300), FaultSpec::Off);
+        assert_eq!(FaultSpec::Off.kind(), None);
+        // Derivations preserve the transient kind.
+        assert_eq!(transient.scaled(2).mttr(), Some(300));
+        assert_eq!(transient.reseeded(9).mttr(), Some(300));
+        // The schedule carries the transient kind on every event.
+        assert!(transient
+            .schedule(4)
+            .iter()
+            .all(|e| e.kind == FaultKind::Transient { repair_after: 300 }));
+    }
+
+    #[test]
+    fn repair_transitions_follow_the_state_machine() {
+        let mut m = FaultMap::new(4);
+        m.mark_page(2, PageHealth::Dead);
+        assert!(!m.is_usable(2));
+
+        // Dead → Repairing: still not usable, still splits the ring.
+        m.begin_repair(2);
+        assert_eq!(m.health(2), PageHealth::Repairing);
+        assert!(!m.is_usable(2));
+        assert_eq!(m.repairing_pages(), vec![2]);
+        assert_eq!(m.surviving_runs(), vec![(0, 2), (3, 1)]);
+
+        // Repairing → Healthy.
+        m.complete_repair(2);
+        assert_eq!(m.health(2), PageHealth::Healthy);
+        assert!(m.is_usable(2));
+        assert_eq!(m.surviving_runs(), vec![(0, 4)]);
+
+        // begin_repair on a non-dead page is a no-op...
+        m.begin_repair(2);
+        assert_eq!(m.health(2), PageHealth::Healthy);
+        m.mark_page(1, PageHealth::Degraded);
+        m.begin_repair(1);
+        assert_eq!(m.health(1), PageHealth::Degraded);
+        // ...and complete_repair on a non-repairing page is too (a page
+        // re-killed mid-repair stays dead).
+        m.mark_page(3, PageHealth::Dead);
+        m.begin_repair(3);
+        m.mark_page(3, PageHealth::Dead); // re-struck while repairing
+        m.complete_repair(3);
+        assert_eq!(m.health(3), PageHealth::Dead);
+    }
+
+    #[test]
+    fn repair_clears_pe_faults_for_fresh_majority_vote() {
+        let layout = PageLayout::for_size(Mesh::new(4, 4), 4).unwrap();
+        let mut m = FaultMap::for_layout(&layout);
+        let mesh = layout.mesh();
+        // Kill page 0 by majority vote.
+        m.mark_pe(&layout, mesh.pe(Pos::new(0, 0)));
+        m.mark_pe(&layout, mesh.pe(Pos::new(0, 1)));
+        m.mark_pe(&layout, mesh.pe(Pos::new(1, 0)));
+        assert_eq!(m.health(0), PageHealth::Dead);
+        m.begin_repair(0);
+        m.complete_repair(0);
+        assert_eq!(m.health(0), PageHealth::Healthy);
+        assert!(m.faulty_pes(0, Orientation::Identity).is_empty());
+        // A fresh single PE fault only degrades — the vote restarted.
+        m.mark_pe(&layout, mesh.pe(Pos::new(0, 0)));
+        assert_eq!(m.health(0), PageHealth::Degraded);
     }
 
     #[test]
@@ -609,7 +1014,15 @@ mod tests {
         // must survive Display → parse unchanged, including the extreme
         // field values the hand-picked cases above never reach.
         let mut specs = vec![FaultSpec::Off];
-        for kind in [FaultKind::Kill, FaultKind::Degrade] {
+        for kind in [
+            FaultKind::Kill,
+            FaultKind::Degrade,
+            FaultKind::Transient { repair_after: 1 },
+            FaultKind::Transient { repair_after: 4096 },
+            FaultKind::Transient {
+                repair_after: u64::MAX,
+            },
+        ] {
             for time in [0u64, 1, 999, u64::MAX] {
                 for page in [0u16, 1, 7, u16::MAX] {
                     specs.push(FaultSpec::At { time, page, kind });

@@ -11,7 +11,10 @@
 //!   --faults SPEC         fault-injection degradation curve instead of
 //!                         the grid: `at=<t>,page=<p>[,degrade]` or
 //!                         `mtbf=<mean>,count=<n>[,seed=<s>][,degrade]`;
-//!                         `off` runs the plain fault-free grid
+//!                         add `mttr=<cycles>` to make the faults
+//!                         transient (pages repair after that interval)
+//!                         and get the degradation-and-recovery curve
+//!                         instead; `off` runs the plain fault-free grid
 //!   --smoke               reduced seeds/work (fast CI smoke run)
 //!   --jobs N, -j N        worker threads (default: available cores,
 //!                         capped 16); output is byte-identical for all N
@@ -74,13 +77,30 @@ fn main() {
             std::process::exit(2);
         });
         let base = FaultSpec::parse(raw).unwrap_or_else(|e| {
-            eprintln!("{e}");
+            // Point at the offending clause: the typed error carries its
+            // byte span within the spec string.
+            let (off, len) = e.span();
+            eprintln!("--faults {raw}");
+            eprintln!("         {}{} {e}", " ".repeat(off), "^".repeat(len.max(1)));
             std::process::exit(2);
         });
         if base.is_off() {
             // Fall through to the plain grid: it is fault-free by default,
             // so `--faults off` must be byte-identical to no flag at all.
             eprintln!("--faults off: nothing to inject; running the fault-free grid");
+        } else if base.mttr().is_some() {
+            // Transient faults: the degradation curve gains its repair
+            // dimension — fault-free and no-repair reference rows, then
+            // descending mttr.
+            println!(
+                "## Degradation-and-recovery curve — faults `{base}` (8x8, page 4, 8 threads, need 87.5%)\n"
+            );
+            let curve =
+                fig9::recovery_curve_traced(&engine, &cache, 8, 4, &base, &params, &obs.tracer);
+            println!("{}", fig9::render_recovery_curve(&curve));
+            eprintln!("mapcache: {:?}", cache.map_cache().stats());
+            finish(&obs, analyze);
+            return;
         } else {
             println!(
                 "## Degradation curve — faults `{base}` (8x8, page 4, 8 threads, need 87.5%)\n"

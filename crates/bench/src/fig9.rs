@@ -407,6 +407,8 @@ pub fn render_curve(curve: &[(u64, FaultSpec, Result<Fig9Point, SimError>)]) -> 
         "degraded",
         "remapped",
         "revoked",
+        "repairs",
+        "reexpand",
         "recovery cyc",
     ];
     let rows: Vec<Vec<String>> = curve
@@ -421,19 +423,126 @@ pub fn render_curve(curve: &[(u64, FaultSpec, Result<Fig9Point, SimError>)]) -> 
                 p.faults.pages_degraded.to_string(),
                 p.faults.threads_remapped.to_string(),
                 p.faults.threads_revoked.to_string(),
+                p.faults.repairs.to_string(),
+                p.faults.reexpansions.to_string(),
                 p.faults.recovery_cycles.to_string(),
             ],
-            Err(e) => vec![
-                scale.to_string(),
+            Err(e) => {
+                let mut row = vec![scale.to_string(), spec.to_string(), format!("error: {e}")];
+                row.resize(headers.len(), "-".into());
+                row
+            }
+        })
+        .collect();
+    crate::table::markdown(&headers, &rows)
+}
+
+/// MTTR scale factors of the recovery curve: each row multiplies the
+/// base spec's repair interval, descending so the table reads as
+/// "repairs get faster, throughput returns".
+pub const RECOVERY_MTTR_SCALES: [u64; 4] = [8, 4, 2, 1];
+
+/// Throughput-vs-repair-speed *recovery* curve at one operating point —
+/// the degradation curve's mttr dimension.
+///
+/// Row 0 is the fault-free reference and row 1 the same fault schedule
+/// with repair disabled (every transient made permanent): the two ends
+/// of the recovery spectrum. Each following row repairs the same
+/// strikes with the base spec's mttr scaled by [`RECOVERY_MTTR_SCALES`]
+/// — as the repair interval shrinks, throughput visibly returns toward
+/// the fault-free reference. `base` should carry an `mttr=` clause
+/// (rows fall back to a 1000-cycle repair interval when it does not).
+#[allow(clippy::type_complexity)]
+pub fn recovery_curve(
+    engine: &Engine,
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    base: &FaultSpec,
+    params: &Fig9Params,
+) -> Vec<(String, FaultSpec, Result<Fig9Point, SimError>)> {
+    recovery_curve_traced(engine, cache, dim, page_size, base, params, &Tracer::off())
+}
+
+/// [`recovery_curve`] with every row's multithreaded runs emitted to
+/// `tracer` (one contiguous batch per row; see [`run_point_traced`]).
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub fn recovery_curve_traced(
+    engine: &Engine,
+    cache: &LibCache,
+    dim: u16,
+    page_size: usize,
+    base: &FaultSpec,
+    params: &Fig9Params,
+    tracer: &Tracer,
+) -> Vec<(String, FaultSpec, Result<Fig9Point, SimError>)> {
+    cache.get(dim, page_size); // compile once, outside the sweep
+    let mttr = base.mttr().unwrap_or(1_000);
+    let mut rows: Vec<(String, FaultSpec)> = vec![
+        ("fault-free".into(), FaultSpec::Off),
+        ("no-repair".into(), base.permanent()),
+    ];
+    for &scale in &RECOVERY_MTTR_SCALES {
+        rows.push((
+            format!("mttr x{scale}"),
+            base.with_mttr(mttr.saturating_mul(scale)),
+        ));
+    }
+    let results = engine.run(&rows, |(_, spec)| {
+        let row_params = Fig9Params {
+            faults: *spec,
+            ..*params
+        };
+        run_point_traced(
+            cache,
+            dim,
+            page_size,
+            CgraNeed::High,
+            8,
+            &row_params,
+            tracer,
+        )
+    });
+    rows.into_iter()
+        .zip(results)
+        .map(|((label, spec), r)| (label, spec, r))
+        .collect()
+}
+
+/// Render a recovery curve as a markdown table (errors in-row).
+pub fn render_recovery_curve(curve: &[(String, FaultSpec, Result<Fig9Point, SimError>)]) -> String {
+    let headers = [
+        "row",
+        "spec",
+        "improv%",
+        "mt makespan",
+        "killed",
+        "remapped",
+        "revoked",
+        "repairs",
+        "reexpand",
+        "recovery cyc",
+    ];
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(label, spec, r)| match r {
+            Ok(p) => vec![
+                label.clone(),
                 spec.to_string(),
-                format!("error: {e}"),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
+                format!("{:+.1}", p.improvement_pct),
+                format!("{:.0}", p.mt_makespan),
+                p.faults.pages_killed.to_string(),
+                p.faults.threads_remapped.to_string(),
+                p.faults.threads_revoked.to_string(),
+                p.faults.repairs.to_string(),
+                p.faults.reexpansions.to_string(),
+                p.faults.recovery_cycles.to_string(),
             ],
+            Err(e) => {
+                let mut row = vec![label.clone(), spec.to_string(), format!("error: {e}")];
+                row.resize(headers.len(), "-".into());
+                row
+            }
         })
         .collect();
     crate::table::markdown(&headers, &rows)
@@ -542,6 +651,64 @@ mod tests {
             faulty.mt_makespan,
             clean.mt_makespan
         );
+    }
+
+    #[test]
+    fn recovery_curve_shows_throughput_returning() {
+        let cache = LibCache::new();
+        let base = FaultSpec::Mtbf {
+            mean: 10_000,
+            count: 2,
+            seed: 1,
+            kind: cgra_arch::FaultKind::Transient { repair_after: 500 },
+        };
+        let curve = recovery_curve(&Engine::with_jobs(2), &cache, 4, 4, &base, &quick_params());
+        assert_eq!(curve.len(), 2 + RECOVERY_MTTR_SCALES.len());
+        assert_eq!(curve[0].1, FaultSpec::Off);
+        let reference = curve[0].2.as_ref().unwrap();
+        assert!(!reference.faults.any());
+        let no_repair = curve[1].2.as_ref().unwrap();
+        assert_eq!(no_repair.faults.repairs, 0, "repair disabled in row 1");
+        assert!(no_repair.faults.pages_killed > 0);
+        let fastest = curve.last().unwrap().2.as_ref().unwrap();
+        assert!(fastest.faults.repairs > 0, "mttr rows repair pages");
+        // The headline: with repair, throughput returns toward the
+        // fault-free reference — the recovered system beats no-repair
+        // and sits between it and the clean run.
+        assert!(
+            fastest.mt_makespan <= no_repair.mt_makespan,
+            "repair must not be slower than no repair: {} vs {}",
+            fastest.mt_makespan,
+            no_repair.mt_makespan
+        );
+        // Close to the fault-free reference (shrink/expand reshuffles
+        // allocation order, so a repaired run may even land a hair
+        // under it — a scheduling anomaly, not a free lunch).
+        assert!(
+            fastest.mt_makespan >= reference.mt_makespan * 0.95,
+            "repaired run should track the fault-free reference: {} vs {}",
+            fastest.mt_makespan,
+            reference.mt_makespan
+        );
+        let rendered = render_recovery_curve(&curve);
+        assert!(rendered.contains("fault-free"));
+        assert!(rendered.contains("no-repair"));
+        assert!(rendered.contains("mttr x1"));
+        assert_eq!(rendered.lines().count(), curve.len() + 2);
+    }
+
+    #[test]
+    fn recovery_curve_rows_are_deterministic() {
+        let cache = LibCache::new();
+        let base = FaultSpec::Mtbf {
+            mean: 8_000,
+            count: 2,
+            seed: 3,
+            kind: cgra_arch::FaultKind::Transient { repair_after: 400 },
+        };
+        let a = recovery_curve(&Engine::with_jobs(1), &cache, 4, 4, &base, &quick_params());
+        let b = recovery_curve(&Engine::with_jobs(4), &cache, 4, 4, &base, &quick_params());
+        assert_eq!(render_recovery_curve(&a), render_recovery_curve(&b));
     }
 
     #[test]

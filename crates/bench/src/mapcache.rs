@@ -508,6 +508,50 @@ mod tests {
     }
 
     #[test]
+    fn truncated_entry_from_a_crashed_writer_is_rejected_and_recomputed() {
+        // The crash-safety contract: entries are written to a temp name
+        // and renamed into place, so a visible entry is either whole or
+        // absent. This test models the failure the contract defends
+        // against — a file cut off mid-write — and checks the read path
+        // treats it as a miss, not an error, even with a stale temp file
+        // from the dead writer still sitting in the directory.
+        let dir = std::env::temp_dir().join(format!("mapcache-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fabric = cgra(4, 4);
+        let opts = MapOptions::default();
+        let k = cgra_dfg::kernels::fir();
+
+        let first = MapCache::persistent_at(&dir);
+        let computed = first.profile(&k, &fabric, &opts);
+
+        // Truncate every entry mid-file and plant a stale temp file, as
+        // a writer killed between `write` and `rename` would leave.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.len() > 16, "entry must be long enough to truncate");
+            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            std::fs::write(dir.join(format!(".{name}.tmp-0")), &text[..8]).unwrap();
+        }
+
+        // The sweep must recompute, not fail.
+        let second = MapCache::persistent_at(&dir);
+        let recomputed = second.profile(&k, &fabric, &opts);
+        assert_eq!(*computed, *recomputed);
+        let s = second.stats();
+        assert_eq!((s.misses, s.disk_rejects), (1, 1));
+
+        // The recompute healed the entry in place; the stale temp file
+        // is inert (it is never a cache key) and must not be served.
+        let third = MapCache::persistent_at(&dir);
+        assert_eq!(*computed, *third.profile(&k, &fabric, &opts));
+        assert_eq!(third.stats().disk_hits, 1);
+        assert_eq!(third.stats().disk_rejects, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn semantically_corrupt_entry_is_rejected_by_the_analyzer() {
         // Well-formed JSON with matching key fields, but a profile whose
         // numbers an analyzer pass can prove wrong: only the semantic

@@ -18,6 +18,10 @@
 //! * [`degrade`] — [`DegradedPlan`](degrade::DegradedPlan): shrinking
 //!   onto the surviving contiguous run of a faulty page region instead
 //!   of panicking when pages die.
+//! * [`recovery`] — [`RecoveryPlan`](recovery::RecoveryPlan): the undo,
+//!   re-expanding onto repaired pages back toward the full-ring
+//!   schedule, with the quarantine/iteration bookkeeping the analyzer
+//!   audits (codes A310–A312).
 //! * [`fold`] — the PE-level shrink-to-one-page of Fig. 6, with
 //!   intra-page mirroring and rotating-register pressure checks.
 //!
@@ -43,6 +47,7 @@ pub mod degrade;
 pub mod fold;
 pub mod paged;
 pub mod pagemaster;
+pub mod recovery;
 pub mod transform;
 pub mod validate;
 
@@ -50,5 +55,6 @@ pub use degrade::{transform_degraded, DegradedPlan};
 pub use fold::{fold_to_page, validate_fold, FoldedSchedule};
 pub use paged::{Discipline, PageDep, PagedSchedule};
 pub use pagemaster::{transform_pagemaster, transform_pagemaster_degraded};
+pub use recovery::{plan_recovery, RecoveryPlan, RepairedPage};
 pub use transform::{transform_block, transform_traced, ShrinkPlan, Strategy, TransformError};
 pub use validate::{is_slot_optimal, validate_plan, TransformViolation};

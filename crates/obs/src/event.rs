@@ -188,6 +188,28 @@ pub enum TraceEvent {
         /// The dead page.
         page: u16,
     },
+    /// A transiently-failed page finished repair (and its quarantine
+    /// window) and returned to the allocator's free pool.
+    PageRepaired {
+        /// Simulation time.
+        time: u64,
+        /// The repaired page.
+        page: u16,
+    },
+    /// The supervision policy re-expanded a shrunk thread onto
+    /// recovered pages (the recovery counterpart of `ThreadExpand`).
+    Reexpanded {
+        /// Simulation time.
+        time: u64,
+        /// The re-expanded thread.
+        thread: u32,
+        /// Page count before.
+        from: u16,
+        /// Page count after.
+        to: u16,
+        /// The pages it now holds.
+        pages: Vec<u16>,
+    },
     /// The run terminated with an error instead of completing. Closes
     /// the run segment; oracle completeness checks are skipped.
     SimAbort {
@@ -225,6 +247,8 @@ impl TraceEvent {
             TraceEvent::ThreadDone { .. } => "thread_done",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Revoke { .. } => "revoke",
+            TraceEvent::PageRepaired { .. } => "page_repaired",
+            TraceEvent::Reexpanded { .. } => "reexpanded",
             TraceEvent::SimAbort { .. } => "sim_abort",
             TraceEvent::SimEnd { .. } => "sim_end",
         }
@@ -376,26 +400,54 @@ impl TraceEvent {
             TraceEvent::ThreadDone { time, thread } => {
                 Json::obj([("ev", tag), ("time", int(*time)), ("thread", int(*thread))])
             }
-            TraceEvent::Fault { time, page, kind } => Json::obj([
-                ("ev", tag),
-                ("time", int(*time)),
-                ("page", int(*page)),
-                (
-                    "kind",
-                    Json::Str(
-                        match kind {
-                            FaultKind::Degrade => "degrade",
-                            FaultKind::Kill => "kill",
-                        }
-                        .into(),
-                    ),
-                ),
-            ]),
+            TraceEvent::Fault { time, page, kind } => {
+                let kind_str = |s: &str| Json::Str(s.into());
+                match kind {
+                    FaultKind::Degrade => Json::obj([
+                        ("ev", tag),
+                        ("time", int(*time)),
+                        ("page", int(*page)),
+                        ("kind", kind_str("degrade")),
+                    ]),
+                    FaultKind::Kill => Json::obj([
+                        ("ev", tag),
+                        ("time", int(*time)),
+                        ("page", int(*page)),
+                        ("kind", kind_str("kill")),
+                    ]),
+                    // Transient faults carry their repair interval in an
+                    // extra `mttr` field, present only for this kind.
+                    FaultKind::Transient { repair_after } => Json::obj([
+                        ("ev", tag),
+                        ("time", int(*time)),
+                        ("page", int(*page)),
+                        ("kind", kind_str("transient")),
+                        ("mttr", int(*repair_after)),
+                    ]),
+                }
+            }
             TraceEvent::Revoke { time, thread, page } => Json::obj([
                 ("ev", tag),
                 ("time", int(*time)),
                 ("thread", int(*thread)),
                 ("page", int(*page)),
+            ]),
+            TraceEvent::PageRepaired { time, page } => {
+                Json::obj([("ev", tag), ("time", int(*time)), ("page", int(*page))])
+            }
+            TraceEvent::Reexpanded {
+                time,
+                thread,
+                from,
+                to,
+                pages,
+            } => Json::obj([
+                ("ev", tag),
+                ("time", int(*time)),
+                ("thread", int(*thread)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("pages", pages_arr(pages)),
             ]),
             TraceEvent::SimAbort { reason } => {
                 Json::obj([("ev", tag), ("reason", Json::Str(reason.clone()))])
@@ -507,6 +559,9 @@ impl TraceEvent {
                 kind: match str_field(&v, "kind")?.as_str() {
                     "degrade" => FaultKind::Degrade,
                     "kill" => FaultKind::Kill,
+                    "transient" => FaultKind::Transient {
+                        repair_after: num(&v, "mttr")?,
+                    },
                     other => {
                         return Err(DecodeError {
                             message: format!("unknown fault kind {other:?}"),
@@ -518,6 +573,17 @@ impl TraceEvent {
                 time: num(&v, "time")?,
                 thread: num(&v, "thread")?,
                 page: num(&v, "page")?,
+            },
+            "page_repaired" => TraceEvent::PageRepaired {
+                time: num(&v, "time")?,
+                page: num(&v, "page")?,
+            },
+            "reexpanded" => TraceEvent::Reexpanded {
+                time: num(&v, "time")?,
+                thread: num(&v, "thread")?,
+                from: num(&v, "from")?,
+                to: num(&v, "to")?,
+                pages: pages_field(&v)?,
             },
             "sim_abort" => TraceEvent::SimAbort {
                 reason: str_field(&v, "reason")?,
@@ -714,6 +780,19 @@ mod tests {
                 thread: 1,
                 page: 2,
             },
+            TraceEvent::Fault {
+                time: 17,
+                page: 1,
+                kind: FaultKind::Transient { repair_after: 600 },
+            },
+            TraceEvent::PageRepaired { time: 617, page: 1 },
+            TraceEvent::Reexpanded {
+                time: 620,
+                thread: 1,
+                from: 1,
+                to: 2,
+                pages: vec![1, 2],
+            },
             TraceEvent::SimAbort {
                 reason: "starved".into(),
             },
@@ -749,5 +828,11 @@ mod tests {
             "{\"ev\":\"fault\",\"time\":1,\"page\":0,\"kind\":\"melt\"}"
         )
         .is_err());
+        // A transient fault without its repair interval is malformed.
+        assert!(TraceEvent::parse_line(
+            "{\"ev\":\"fault\",\"time\":1,\"page\":0,\"kind\":\"transient\"}"
+        )
+        .is_err());
+        assert!(TraceEvent::parse_line("{\"ev\":\"page_repaired\",\"time\":1}").is_err());
     }
 }

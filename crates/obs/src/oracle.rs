@@ -6,7 +6,10 @@
 //!
 //! * every revoked page was owned by the revoked thread at that moment,
 //! * no two threads ever hold the same page,
-//! * no page is handed to a thread after its death event,
+//! * no page is handed to a thread after its death event (a
+//!   `PageRepaired` event lifts the ban: repair returns the page to the
+//!   grantable pool, and ownership exclusivity must hold across the
+//!   repair),
 //! * per-thread cycle accounting sums to the reported makespan (the
 //!   last `ThreadDone` must land exactly on `SimEnd.makespan`, and
 //!   every thread must check out),
@@ -400,6 +403,12 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<OracleReport, OracleError> {
                 thread,
                 pages,
                 ..
+            }
+            | TraceEvent::Reexpanded {
+                time,
+                thread,
+                pages,
+                ..
             } => {
                 let state = open_run(&mut run, index, ev)?;
                 state.clock(index, *time)?;
@@ -420,9 +429,16 @@ pub fn check_trace(events: &[TraceEvent]) -> Result<OracleReport, OracleError> {
             TraceEvent::Fault { time, page, kind } => {
                 let state = open_run(&mut run, index, ev)?;
                 state.clock(index, *time)?;
-                if *kind == FaultKind::Kill {
+                // Transient faults kill the page too; only a later
+                // PageRepaired makes it grantable again.
+                if matches!(kind, FaultKind::Kill | FaultKind::Transient { .. }) {
                     state.dead.insert(*page);
                 }
+            }
+            TraceEvent::PageRepaired { time, page } => {
+                let state = open_run(&mut run, index, ev)?;
+                state.clock(index, *time)?;
+                state.dead.remove(page);
             }
             TraceEvent::Revoke { time, thread, page } => {
                 let state = open_run(&mut run, index, ev)?;
@@ -679,6 +695,117 @@ mod tests {
                 index: 7,
                 thread: 1,
                 page: 3
+            })
+        );
+    }
+
+    /// A legal transient-fault run: the strike kills page 3 and shrinks
+    /// thread 1; `PageRepaired` returns the page and the supervised
+    /// re-expansion puts thread 1 back on its original two pages.
+    fn transient_run() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SimBegin {
+                threads: 2,
+                pages: 4,
+            },
+            TraceEvent::ThreadStart {
+                time: 0,
+                thread: 0,
+                kernel: 0,
+                pages: vec![0, 1],
+            },
+            TraceEvent::ThreadStart {
+                time: 0,
+                thread: 1,
+                kernel: 1,
+                pages: vec![2, 3],
+            },
+            TraceEvent::Fault {
+                time: 50,
+                page: 3,
+                kind: FaultKind::Transient { repair_after: 80 },
+            },
+            TraceEvent::ThreadShrink {
+                time: 50,
+                thread: 1,
+                from: 2,
+                to: 1,
+                pages: vec![2],
+            },
+            TraceEvent::PageRepaired { time: 160, page: 3 },
+            TraceEvent::Reexpanded {
+                time: 160,
+                thread: 1,
+                from: 1,
+                to: 2,
+                pages: vec![2, 3],
+            },
+            TraceEvent::ThreadFinish {
+                time: 200,
+                thread: 0,
+                freed: 2,
+            },
+            TraceEvent::ThreadDone {
+                time: 200,
+                thread: 0,
+            },
+            TraceEvent::ThreadFinish {
+                time: 250,
+                thread: 1,
+                freed: 2,
+            },
+            TraceEvent::ThreadDone {
+                time: 250,
+                thread: 1,
+            },
+            TraceEvent::SimEnd {
+                makespan: 250,
+                iterations: 30,
+            },
+        ]
+    }
+
+    #[test]
+    fn transient_repair_reexpand_round_trip_passes() {
+        let report = check_trace(&transient_run()).expect("repair round trip is legal");
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.events, 12);
+    }
+
+    #[test]
+    fn reuse_of_transiently_dead_page_before_repair_fires() {
+        let mut trace = transient_run();
+        // Re-expand onto page 3 while it is still dead (the PageRepaired
+        // at index 5 has not happened yet).
+        trace.swap(5, 6);
+        assert_eq!(
+            check_trace(&trace),
+            Err(OracleError::DeadPageAllocated {
+                index: 5,
+                thread: 1,
+                page: 3
+            })
+        );
+    }
+
+    #[test]
+    fn reexpansion_must_respect_ownership_exclusivity() {
+        let mut trace = transient_run();
+        // Corrupt the re-expansion to steal page 0 from thread 0.
+        trace[6] = TraceEvent::Reexpanded {
+            time: 160,
+            thread: 1,
+            from: 1,
+            to: 2,
+            pages: vec![2, 0],
+        };
+        assert_eq!(
+            check_trace(&trace),
+            Err(OracleError::DoubleOwnership {
+                index: 6,
+                page: 0,
+                owner: 0,
+                claimant: 1
             })
         );
     }

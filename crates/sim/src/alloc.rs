@@ -319,6 +319,77 @@ impl Allocator {
         }
     }
 
+    /// A repaired page returns to the free pool (Dead → Free). Returns
+    /// `true` if the page was actually dead; reviving a page that is
+    /// free or owned is a no-op (`false`) so a stale repair completion
+    /// can never double-count capacity.
+    pub fn revive(&mut self, page: u16) -> Result<bool, SimError> {
+        let Some(&state) = self.pages.get(page as usize) else {
+            return Err(SimError::PageOutOfRange {
+                page,
+                num_pages: self.n,
+            });
+        };
+        if state == PageState::Dead {
+            self.pages[page as usize] = PageState::Free;
+            self.free += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Supervised re-expansion after a page repair: repeatedly grow the
+    /// live thread with the largest *deficit* below its desired budget
+    /// (ties: lowest id) by one halving-chain step, while free pages
+    /// cover the cost. Unlike [`expand`](Allocator::expand), which
+    /// orders by current size per policy, this orders by how much a
+    /// thread has been shrunk — the most-shrunk thread recovers first,
+    /// which is the supervision policy recovered capacity is for.
+    /// Returns every applied expansion.
+    pub fn expand_most_shrunk(
+        &mut self,
+        want: impl Fn(usize) -> u16,
+    ) -> Result<Vec<Expansion>, SimError> {
+        let mut applied = Vec::new();
+        loop {
+            let mut candidates: Vec<(usize, u16, u16)> = self
+                .running
+                .iter()
+                .map(|(&id, &pages)| (id, pages, want(id)))
+                .filter(|&(_, pages, desired)| pages < desired)
+                .collect();
+            candidates
+                .sort_by_key(|&(id, pages, desired)| (std::cmp::Reverse(desired - pages), id));
+            let mut progressed = false;
+            for (id, pages, desired) in candidates {
+                let Some(up) = self.chain_above(pages) else {
+                    continue;
+                };
+                let up = up.min(desired);
+                if up <= pages {
+                    continue;
+                }
+                let cost = up - pages;
+                if cost <= self.free {
+                    self.take_free(id, cost)?;
+                    self.running.insert(id, up);
+                    applied.push(Expansion {
+                        thread: id,
+                        from_pages: pages,
+                        to_pages: up,
+                    });
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(applied)
+    }
+
     /// Expand running threads into free pages per `policy`. `want(t)`
     /// caps each thread's growth. Returns every applied expansion.
     pub fn expand(
@@ -618,5 +689,108 @@ mod tests {
                 num_pages: 4
             })
         );
+    }
+
+    #[test]
+    fn revive_returns_dead_page_to_the_pool() {
+        let mut a = Allocator::new(4);
+        a.kill_page(2).unwrap();
+        assert_eq!(a.free_pages(), 3);
+        assert_eq!(a.usable_pages(), 3);
+        assert!(a.revive(2).unwrap());
+        assert_eq!(a.free_pages(), 4);
+        assert_eq!(a.usable_pages(), 4);
+        // Double-revive and reviving a live page are no-ops.
+        assert!(!a.revive(2).unwrap());
+        assert_eq!(a.free_pages(), 4);
+        a.request(0, 4).unwrap();
+        assert!(!a.revive(0).unwrap());
+        assert_eq!(
+            a.revive(9),
+            Err(SimError::PageOutOfRange {
+                page: 9,
+                num_pages: 4
+            })
+        );
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn revived_page_is_grantable_again() {
+        let mut a = Allocator::new(2);
+        a.request(0, 2).unwrap();
+        a.request(1, 2).unwrap(); // 1 + 1
+        let page = a.pages_of(1)[0];
+        assert_eq!(a.kill_page(page).unwrap(), PageDeath::Revoked { victim: 1 });
+        assert_eq!(a.request(1, 2).unwrap(), RequestOutcome::Queued);
+        assert!(a.revive(page).unwrap());
+        assert_eq!(
+            a.request(1, 2).unwrap(),
+            RequestOutcome::Granted { pages: 1 }
+        );
+        assert_eq!(a.pages_of(1), vec![page]);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn expand_most_shrunk_grows_largest_deficit_first() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8).unwrap();
+        a.request(1, 8).unwrap(); // 4 + 4
+        a.request(2, 8).unwrap(); // 2 + 4 + 2
+        a.release(1).unwrap(); // 4 free
+                               // Thread 0 wants 8 (deficit 6); thread 2 wants 4 (deficit 2):
+                               // the most-shrunk thread 0 doubles first, then thread 2 takes
+                               // the remaining 2.
+        let wants = |t: usize| if t == 0 { 8 } else { 4 };
+        let grown = a.expand_most_shrunk(wants).unwrap();
+        assert_eq!(
+            grown,
+            vec![
+                Expansion {
+                    thread: 0,
+                    from_pages: 2,
+                    to_pages: 4
+                },
+                Expansion {
+                    thread: 2,
+                    from_pages: 2,
+                    to_pages: 4
+                }
+            ]
+        );
+        assert_eq!(a.free_pages(), 0);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn expand_most_shrunk_ties_go_to_lowest_id() {
+        let mut a = Allocator::new(8);
+        a.request(0, 8).unwrap();
+        a.request(1, 8).unwrap(); // 4 + 4
+        a.request(2, 8).unwrap(); // 2 + 4 + 2
+        a.release(1).unwrap(); // 4 free; threads 0 and 2 both at 2
+                               // Equal deficits: thread 0 wins the tie, and after one chain
+                               // step (2 -> 4) the pool is drained before thread 2's turn
+                               // comes again.
+        let grown = a.expand_most_shrunk(|_| 8).unwrap();
+        assert_eq!(grown.len(), 2);
+        assert_eq!(grown[0].thread, 0);
+        assert_eq!((grown[0].from_pages, grown[0].to_pages), (2, 4));
+        assert_eq!(grown[1].thread, 2);
+        assert!(a.check_invariant());
+    }
+
+    #[test]
+    fn expand_most_shrunk_respects_want_and_empty_pool() {
+        let mut a = Allocator::new(8);
+        a.request(0, 2).unwrap();
+        // Satisfied threads never grow.
+        assert!(a.expand_most_shrunk(|_| 2).unwrap().is_empty());
+        // Nothing free: no growth even with a deficit.
+        let mut b = Allocator::new(2);
+        b.request(0, 2).unwrap();
+        b.request(1, 2).unwrap();
+        assert!(b.expand_most_shrunk(|_| 2).unwrap().is_empty());
     }
 }

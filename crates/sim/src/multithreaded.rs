@@ -22,6 +22,19 @@
 //! applying one bumps event versions; the loop peeks instead of popping
 //! for exactly this reason. Fault-free runs take the same code path and
 //! are bit-identical to the pre-fault simulator.
+//!
+//! ## Repair and re-expansion
+//!
+//! A [`FaultKind::Transient`] fault kills its page like a permanent
+//! kill, then schedules repair: `repair_after` cycles later the page
+//! enters `Repairing`, and after a further quarantine window
+//! ([`MtConfig::quarantine`] — hysteresis so a flapping page cannot
+//! thrash shrink/expand) it returns to the allocator's free pool as a
+//! `PageRepaired` discrete event. Recovered capacity first re-admits
+//! queued threads, then a supervision policy re-expands the *most
+//! shrunk* live thread through the ordinary PageMaster expansion path
+//! (`Reexpanded` trace events). Any new fault on a page invalidates its
+//! in-flight repair — a permanent kill during repair sticks.
 
 use crate::alloc::{Allocator, ExpandPolicy, PageDeath, RequestOutcome};
 use crate::error::SimError;
@@ -31,7 +44,8 @@ use crate::stats::{FaultStats, SimReport};
 use crate::workload::{Segment, ThreadSpec};
 use cgra_arch::{FaultEvent, FaultKind, FaultMap, PageHealth};
 use cgra_obs::{TraceEvent, Tracer};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Multithreaded-system knobs.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +57,10 @@ pub struct MtConfig {
     /// II multiplier for a thread holding a *degraded* (but usable)
     /// page. 1 = degraded pages run at full speed.
     pub degrade_factor: u64,
+    /// Cycles a repaired page must stay fault-free *after* its repair
+    /// interval elapses before it is re-offered to threads (hysteresis
+    /// against flapping pages). Inert without transient faults.
+    pub quarantine: u64,
 }
 
 impl Default for MtConfig {
@@ -51,8 +69,31 @@ impl Default for MtConfig {
             switch_overhead: 0,
             expand: ExpandPolicy::SmallestFirst,
             degrade_factor: 2,
+            quarantine: 64,
         }
     }
+}
+
+/// The two stages of a scheduled page repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RepairPhase {
+    /// Dead → Repairing, `repair_after` cycles after the strike.
+    Begin,
+    /// Repairing → Healthy + back to the free pool, after the
+    /// quarantine window.
+    Commit,
+}
+
+/// One scheduled repair action. Ordered by `(time, page, phase,
+/// version)` so the pending-repair heap pops deterministically; the
+/// version snapshot invalidates the action if the page is struck again
+/// after it was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RepairAction {
+    time: u64,
+    page: u16,
+    phase: RepairPhase,
+    version: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +136,12 @@ struct Sim<'a> {
     /// Threads queued because a fault revoked their last page (their
     /// wait counts toward recovery latency, not just stall time).
     fault_waiting: Vec<bool>,
+    /// Pending repair actions for transient faults, popped in
+    /// `(time, page, phase)` order.
+    repairs: BinaryHeap<Reverse<RepairAction>>,
+    /// Per-page strike counter; a repair action scheduled under an
+    /// older version is stale and dropped (the page was re-struck).
+    repair_version: Vec<u64>,
     // Stats.
     cgra_iterations: u64,
     page_cycles: u64,
@@ -283,9 +330,10 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    /// Serve stalled threads from freed pages, then grow the survivors.
-    /// Runs after every kernel completion and after every page death.
-    fn redistribute(&mut self, now: u64) -> Result<(), SimError> {
+    /// Serve stalled threads from freed pages, front of the queue
+    /// first. A fault-revoked thread's wait counts toward recovery
+    /// latency as well as stall time.
+    fn drain_queue(&mut self, now: u64) -> Result<(), SimError> {
         while let Some(&head) = self.queue.front() {
             let Mode::Waiting {
                 kernel,
@@ -308,6 +356,13 @@ impl<'a> Sim<'a> {
             // Re-request: guaranteed to be served from free pages.
             self.request_cgra(head, kernel, iterations, now)?;
         }
+        Ok(())
+    }
+
+    /// Serve stalled threads from freed pages, then grow the survivors.
+    /// Runs after every kernel completion and after every page death.
+    fn redistribute(&mut self, now: u64) -> Result<(), SimError> {
+        self.drain_queue(now)?;
 
         // Then grow the survivors.
         let wants: Vec<u16> = (0..self.threads.len()).map(|t| self.want(t)).collect();
@@ -320,6 +375,37 @@ impl<'a> Sim<'a> {
                 self.set_rate(ex.thread, now, new_rate);
                 let tr = self.tracer;
                 tr.emit(|| TraceEvent::ThreadExpand {
+                    time: now,
+                    thread: ex.thread as u32,
+                    from: ex.from_pages,
+                    to: ex.to_pages,
+                    pages: self.alloc.pages_of(ex.thread),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Redistribution after a page repair: re-admit queued threads
+    /// first, then hand the remaining recovered capacity to the *most
+    /// shrunk* live thread (supervision policy) via the ordinary
+    /// expansion path, emitted as `Reexpanded` rather than
+    /// `ThreadExpand` so the trace distinguishes recovery from routine
+    /// growth.
+    fn redistribute_repaired(&mut self, now: u64) -> Result<(), SimError> {
+        self.drain_queue(now)?;
+
+        let wants: Vec<u16> = (0..self.threads.len()).map(|t| self.want(t)).collect();
+        let grown = self.alloc.expand_most_shrunk(|t| wants[t])?;
+        for ex in grown {
+            self.expands += 1;
+            self.fstats.reexpansions += 1;
+            if let Mode::OnCgra { kernel, .. } = self.mode[ex.thread] {
+                self.pages_busy += (ex.to_pages - ex.from_pages) as u64;
+                let new_rate = self.effective_rate(ex.thread, kernel, ex.to_pages)?;
+                self.set_rate(ex.thread, now, new_rate);
+                let tr = self.tracer;
+                tr.emit(|| TraceEvent::Reexpanded {
                     time: now,
                     thread: ex.thread as u32,
                     from: ex.from_pages,
@@ -413,79 +499,144 @@ impl<'a> Sim<'a> {
                 Ok(())
             }
             FaultKind::Kill => {
+                // A permanent kill cancels any in-flight repair of this
+                // page — whatever happens below, the page stays dead.
+                self.repair_version[ev.page as usize] += 1;
                 if self.faults.health(ev.page) == PageHealth::Dead {
                     return Ok(());
                 }
-                self.faults.mark_page(ev.page, PageHealth::Dead);
-                self.fstats.pages_killed += 1;
-                match self.alloc.kill_page(ev.page)? {
-                    PageDeath::AlreadyDead | PageDeath::Unallocated => {}
-                    PageDeath::Shrunk {
-                        victim,
-                        from_pages,
-                        to_pages,
-                    } => {
-                        self.integrate(now);
-                        self.fstats.threads_remapped += 1;
-                        self.pages_busy -= (from_pages - to_pages) as u64;
-                        let Mode::OnCgra { kernel, .. } = self.mode[victim] else {
-                            return Err(SimError::VictimNotRunning { thread: victim });
-                        };
-                        let rate = self.effective_rate(victim, kernel, to_pages)?;
-                        if let Some(at) = self.set_rate(victim, now, rate) {
-                            self.fstats.recovery_cycles += at.saturating_sub(now);
-                        }
-                        let tr = self.tracer;
-                        tr.emit(|| TraceEvent::ThreadShrink {
-                            time: now,
-                            thread: victim as u32,
-                            from: from_pages,
-                            to: to_pages,
-                            pages: self.alloc.pages_of(victim),
-                        });
-                    }
-                    PageDeath::Revoked { victim } => {
-                        self.integrate(now);
-                        self.fstats.threads_revoked += 1;
-                        self.pages_busy -= 1;
-                        let Mode::OnCgra {
-                            kernel,
-                            remaining,
-                            rate,
-                            since,
-                        } = self.mode[victim]
-                        else {
-                            return Err(SimError::VictimNotRunning { thread: victim });
-                        };
-                        // Credit whole iterations completed before the
-                        // fault; the in-flight remainder is lost and
-                        // re-queued.
-                        let done = if now <= since {
-                            0
-                        } else {
-                            ((now - since) / rate).min(remaining)
-                        };
-                        self.cgra_iterations += done;
-                        let left = remaining - done;
-                        self.fstats.iterations_deferred += left;
-                        self.q.bump(victim);
-                        self.mode[victim] = Mode::Waiting {
-                            kernel,
-                            iterations: left,
-                            enqueued: now,
-                        };
-                        self.queue.push_back(victim);
-                        self.fault_waiting[victim] = true;
-                        self.tracer.emit(|| TraceEvent::Revoke {
-                            time: now,
-                            thread: victim as u32,
-                            page: ev.page,
-                        });
-                    }
+                self.apply_kill(now, ev.page)
+            }
+            FaultKind::Transient { repair_after } => {
+                if self.faults.health(ev.page) == PageHealth::Dead {
+                    // Already dead: either permanently killed (never
+                    // improve) or awaiting its first repair (which
+                    // stands — repair tracks the first strike).
+                    return Ok(());
                 }
-                // A death can free surplus pages (chain rounding): let
-                // waiting threads in and regrow survivors.
-                self.redistribute(now)
+                // A re-strike mid-repair invalidates the pending
+                // completion; repair restarts from this strike.
+                self.repair_version[ev.page as usize] += 1;
+                self.repairs.push(Reverse(RepairAction {
+                    time: now.saturating_add(repair_after),
+                    page: ev.page,
+                    phase: RepairPhase::Begin,
+                    version: self.repair_version[ev.page as usize],
+                }));
+                self.apply_kill(now, ev.page)
+            }
+        }
+    }
+
+    /// The kill machinery shared by permanent and transient faults: the
+    /// page dies, its owner (if any) is shrunk or revoked, and freed
+    /// capacity is redistributed.
+    fn apply_kill(&mut self, now: u64, page: u16) -> Result<(), SimError> {
+        self.faults.mark_page(page, PageHealth::Dead);
+        self.fstats.pages_killed += 1;
+        match self.alloc.kill_page(page)? {
+            PageDeath::AlreadyDead | PageDeath::Unallocated => {}
+            PageDeath::Shrunk {
+                victim,
+                from_pages,
+                to_pages,
+            } => {
+                self.integrate(now);
+                self.fstats.threads_remapped += 1;
+                self.pages_busy -= (from_pages - to_pages) as u64;
+                let Mode::OnCgra { kernel, .. } = self.mode[victim] else {
+                    return Err(SimError::VictimNotRunning { thread: victim });
+                };
+                let rate = self.effective_rate(victim, kernel, to_pages)?;
+                if let Some(at) = self.set_rate(victim, now, rate) {
+                    self.fstats.recovery_cycles += at.saturating_sub(now);
+                }
+                let tr = self.tracer;
+                tr.emit(|| TraceEvent::ThreadShrink {
+                    time: now,
+                    thread: victim as u32,
+                    from: from_pages,
+                    to: to_pages,
+                    pages: self.alloc.pages_of(victim),
+                });
+            }
+            PageDeath::Revoked { victim } => {
+                self.integrate(now);
+                self.fstats.threads_revoked += 1;
+                self.pages_busy -= 1;
+                let Mode::OnCgra {
+                    kernel,
+                    remaining,
+                    rate,
+                    since,
+                } = self.mode[victim]
+                else {
+                    return Err(SimError::VictimNotRunning { thread: victim });
+                };
+                // Credit whole iterations completed before the
+                // fault; the in-flight remainder is lost and
+                // re-queued.
+                let done = if now <= since {
+                    0
+                } else {
+                    ((now - since) / rate).min(remaining)
+                };
+                self.cgra_iterations += done;
+                let left = remaining - done;
+                self.fstats.iterations_deferred += left;
+                self.q.bump(victim);
+                self.mode[victim] = Mode::Waiting {
+                    kernel,
+                    iterations: left,
+                    enqueued: now,
+                };
+                self.queue.push_back(victim);
+                self.fault_waiting[victim] = true;
+                self.tracer.emit(|| TraceEvent::Revoke {
+                    time: now,
+                    thread: victim as u32,
+                    page,
+                });
+            }
+        }
+        // A death can free surplus pages (chain rounding): let
+        // waiting threads in and regrow survivors.
+        self.redistribute(now)
+    }
+
+    /// Apply one pending repair action (stale ones — scheduled before
+    /// the page was struck again — are dropped).
+    fn apply_repair(&mut self, action: RepairAction) -> Result<(), SimError> {
+        if action.version != self.repair_version[action.page as usize] {
+            return Ok(());
+        }
+        let now = action.time;
+        match action.phase {
+            RepairPhase::Begin => {
+                // Dead → Repairing; the quarantine window starts. The
+                // page is still unusable until the commit.
+                self.faults.begin_repair(action.page);
+                self.repairs.push(Reverse(RepairAction {
+                    time: now.saturating_add(self.cfg.quarantine),
+                    page: action.page,
+                    phase: RepairPhase::Commit,
+                    version: action.version,
+                }));
+                Ok(())
+            }
+            RepairPhase::Commit => {
+                // Repairing → Healthy; the page returns to the free
+                // pool and recovered capacity is re-offered: queued
+                // threads first, then the most-shrunk live thread.
+                self.faults.complete_repair(action.page);
+                let revived = self.alloc.revive(action.page)?;
+                debug_assert!(revived, "live-version commit must revive a dead page");
+                self.fstats.repairs += 1;
+                self.tracer.emit(|| TraceEvent::PageRepaired {
+                    time: now,
+                    page: action.page,
+                });
+                self.redistribute_repaired(now)
             }
         }
     }
@@ -496,26 +647,45 @@ impl<'a> Sim<'a> {
             self.mode[t] = Mode::Advancing;
         }
         // Kick-off events advance each thread into its first segment.
-        // Two merged streams: thread events and fault events. Faults
-        // strictly before the next thread event go first (ties go to the
-        // thread event: a kernel finishing at t completes before a page
-        // dying at t), and must be applied before *popping* — a fault
-        // bumps versions and can invalidate the event we would have
-        // popped. Faults also continue with no thread events pending:
-        // with every tenant revoked and queued, a later kill can still
-        // free surplus pages and unblock the queue.
+        // Three merged streams: thread events, fault events, and repair
+        // actions. Fabric events (faults + repairs) strictly before the
+        // next thread event go first (ties go to the thread event: a
+        // kernel finishing at t completes before a page dying at t),
+        // and must be applied before *popping* — a fault bumps versions
+        // and can invalidate the event we would have popped. Among
+        // fabric events at the same time, repairs fire before faults (a
+        // page repairs, then is struck again). Fabric events also
+        // continue with no thread events pending: with every tenant
+        // revoked and queued, a later kill can still free surplus pages
+        // — and a pending repair can rescue the whole queue.
         loop {
             let next_event = self.q.peek_time();
             let next_fault = self.fault_events.get(self.fault_idx).copied();
-            let fault_due = match (next_event, next_fault) {
+            let next_repair = self.repairs.peek().map(|&Reverse(a)| a);
+            let repair_first = match (next_repair, next_fault) {
+                (Some(r), Some(f)) => r.time <= f.time,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let fabric_time = match (next_repair, next_fault) {
+                (None, None) => None,
+                _ if repair_first => next_repair.map(|r| r.time),
+                _ => next_fault.map(|f| f.time),
+            };
+            let fabric_due = match (next_event, fabric_time) {
                 (None, None) => break,
-                (Some(te), Some(f)) => f.time < te,
+                (Some(te), Some(ft)) => ft < te,
                 (None, Some(_)) => true,
                 (Some(_), None) => false,
             };
-            if fault_due {
-                self.fault_idx += 1;
-                self.apply_fault(next_fault.expect("fault_due implies a fault"))?;
+            if fabric_due {
+                if repair_first {
+                    self.repairs.pop();
+                    self.apply_repair(next_repair.expect("repair_first implies a repair"))?;
+                } else {
+                    self.fault_idx += 1;
+                    self.apply_fault(next_fault.expect("fabric_due implies a fault"))?;
+                }
                 continue;
             }
             let Some(ev) = self.q.pop() else { continue };
@@ -604,6 +774,8 @@ pub fn simulate_multithreaded_faulty_traced(
         faults: FaultMap::new(lib.num_pages),
         fstats: FaultStats::default(),
         fault_waiting: vec![false; threads.len()],
+        repairs: BinaryHeap::new(),
+        repair_version: vec![0; lib.num_pages as usize],
         cgra_iterations: 0,
         page_cycles: 0,
         pages_busy: 0,
@@ -910,6 +1082,282 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    /// Two tenants at two pages each; a transient strike on page 0
+    /// shrinks thread 0 to one page, then repair + supervised
+    /// re-expansion puts it back on two — the full
+    /// shrink → repair → expand round trip, with the trace showing
+    /// `PageRepaired` and `Reexpanded` at the expected cycles.
+    #[test]
+    fn transient_fault_round_trips_to_original_page_count() {
+        let lib = lib(4);
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == 2)
+            .expect("some kernel wants half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 1000,
+            }],
+        };
+        let ii = lib.profile(small).ii_constrained as u64;
+        let (strike, repair_after, quarantine) = (100 * ii, 50 * ii, 64);
+        let sink = std::sync::Arc::new(cgra_obs::RingSink::unbounded());
+        let tracer = Tracer::new(sink.clone());
+        let r = simulate_multithreaded_faulty_traced(
+            &lib,
+            &[spec.clone(), spec],
+            MtConfig {
+                quarantine,
+                ..MtConfig::default()
+            },
+            &[FaultEvent {
+                time: strike,
+                page: 0,
+                kind: FaultKind::Transient { repair_after },
+            }],
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(r.faults.pages_killed, 1);
+        assert_eq!(r.faults.threads_remapped, 1);
+        assert_eq!(r.faults.repairs, 1);
+        assert_eq!(r.faults.reexpansions, 1);
+        // No revoke ⇒ no iteration loss across the round trip.
+        assert_eq!(r.faults.iterations_deferred, 0);
+        assert_eq!(r.cgra_iterations, 2000);
+        // Thread 1 never noticed; thread 0 paid for the one-page spell.
+        assert_eq!(r.thread_finish[1], 1000 * ii);
+        assert!(r.thread_finish[0] > 1000 * ii);
+        let events = sink.drain();
+        let repaired_at = events
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::PageRepaired { time, page: 0 } => Some(*time),
+                _ => None,
+            })
+            .expect("page 0 is repaired");
+        assert_eq!(repaired_at, strike + repair_after + quarantine);
+        let reexpanded = events
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::Reexpanded {
+                    time,
+                    thread: 0,
+                    from,
+                    to,
+                    ..
+                } => Some((*time, *from, *to)),
+                _ => None,
+            })
+            .expect("thread 0 is re-expanded");
+        assert_eq!(reexpanded.1, 1, "re-expansion starts from the shrunk size");
+        assert_eq!(reexpanded.2, 2, "…and restores the original page count");
+        assert!(reexpanded.0 >= repaired_at);
+    }
+
+    /// A longer quarantine window keeps the repaired page out of the
+    /// pool longer, so the shrunk thread runs slow for longer.
+    #[test]
+    fn quarantine_delays_the_reoffer() {
+        let lib = lib(4);
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == 2)
+            .expect("some kernel wants half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 1000,
+            }],
+        };
+        let ii = lib.profile(small).ii_constrained as u64;
+        let fault = [FaultEvent {
+            time: 100 * ii,
+            page: 0,
+            kind: FaultKind::Transient {
+                repair_after: 10 * ii,
+            },
+        }];
+        let run = |quarantine: u64| {
+            simulate_multithreaded_faulty(
+                &lib,
+                &[spec.clone(), spec.clone()],
+                MtConfig {
+                    quarantine,
+                    ..MtConfig::default()
+                },
+                &fault,
+            )
+            .unwrap()
+        };
+        let short = run(0);
+        let long = run(400 * ii);
+        assert_eq!(short.faults.repairs, 1);
+        assert_eq!(long.faults.repairs, 1);
+        assert!(
+            short.thread_finish[0] < long.thread_finish[0],
+            "longer quarantine must delay recovery: {} vs {}",
+            short.thread_finish[0],
+            long.thread_finish[0]
+        );
+    }
+
+    /// A permanent kill landing while the page awaits repair cancels
+    /// the repair — the page stays dead for good.
+    #[test]
+    fn permanent_kill_during_repair_sticks() {
+        let lib = lib(4);
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == 2)
+            .expect("some kernel wants half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 1000,
+            }],
+        };
+        let ii = lib.profile(small).ii_constrained as u64;
+        let faults = [
+            FaultEvent {
+                time: 100 * ii,
+                page: 0,
+                kind: FaultKind::Transient {
+                    repair_after: 50 * ii,
+                },
+            },
+            // Lands while page 0 is dead awaiting repair.
+            FaultEvent {
+                time: 120 * ii,
+                page: 0,
+                kind: FaultKind::Kill,
+            },
+        ];
+        let r = simulate_multithreaded_faulty(
+            &lib,
+            &[spec.clone(), spec],
+            MtConfig::default(),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(r.faults.injected, 2);
+        assert_eq!(r.faults.pages_killed, 1, "second strike found it dead");
+        assert_eq!(r.faults.repairs, 0, "the permanent kill cancels repair");
+        assert_eq!(r.faults.reexpansions, 0);
+        assert!(r.thread_finish[0] > 1000 * ii, "thread 0 stays shrunk");
+    }
+
+    /// A second transient strike mid-quarantine invalidates the pending
+    /// commit and restarts the repair clock from the new strike.
+    #[test]
+    fn restrike_during_quarantine_restarts_the_repair_clock() {
+        let lib = lib(4);
+        let small = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == 2)
+            .expect("some kernel wants half the 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: small,
+                iterations: 2000,
+            }],
+        };
+        let ii = lib.profile(small).ii_constrained as u64;
+        let (t0, ra, q) = (100 * ii, 20 * ii, 100 * ii);
+        let t1 = t0 + ra + q / 2; // inside the quarantine window
+        let faults = [
+            FaultEvent {
+                time: t0,
+                page: 0,
+                kind: FaultKind::Transient { repair_after: ra },
+            },
+            FaultEvent {
+                time: t1,
+                page: 0,
+                kind: FaultKind::Transient { repair_after: ra },
+            },
+        ];
+        let sink = std::sync::Arc::new(cgra_obs::RingSink::unbounded());
+        let tracer = Tracer::new(sink.clone());
+        let r = simulate_multithreaded_faulty_traced(
+            &lib,
+            &[spec.clone(), spec],
+            MtConfig {
+                quarantine: q,
+                ..MtConfig::default()
+            },
+            &faults,
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(r.faults.pages_killed, 2, "the re-strike kills it again");
+        assert_eq!(r.faults.repairs, 1, "only the restarted repair commits");
+        let repaired_at = sink
+            .drain()
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::PageRepaired { time, page: 0 } => Some(*time),
+                _ => None,
+            })
+            .expect("page 0 is eventually repaired");
+        assert_eq!(repaired_at, t1 + ra + q, "clock restarts at the re-strike");
+    }
+
+    /// Transient kills of *every* page starve the fabric only until the
+    /// repairs land — the revoked threads are re-admitted from the
+    /// queue and the run completes (contrast
+    /// [`killing_every_page_starves_typed`]).
+    #[test]
+    fn transient_kill_of_every_page_recovers_instead_of_starving() {
+        let lib = lib(4);
+        let big = (0..lib.len())
+            .find(|&k| lib.profile(k).wanted_pages(lib.num_pages) == lib.num_pages)
+            .expect("some kernel wants the whole 4x4");
+        let spec = ThreadSpec {
+            segments: vec![Segment::Cgra {
+                kernel: big,
+                iterations: 1000,
+            }],
+        };
+        let faults: Vec<FaultEvent> = (0..4)
+            .map(|p| FaultEvent {
+                time: 10 + u64::from(p),
+                page: p,
+                kind: FaultKind::Transient { repair_after: 500 },
+            })
+            .collect();
+        let r = simulate_multithreaded_faulty(
+            &lib,
+            std::slice::from_ref(&spec),
+            MtConfig::default(),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(r.faults.repairs, 4, "every page comes back");
+        assert_eq!(r.faults.threads_revoked, 1);
+        assert!(r.faults.recovery_cycles > 0);
+        assert!(r.thread_finish[0] > 0, "{r:?}");
+        assert_eq!(r.cgra_iterations, 1000, "no iterations lost for good");
+    }
+
+    #[test]
+    fn transient_runs_are_deterministic() {
+        let lib = lib(4);
+        let w = generate(&lib, &WorkloadParams::default());
+        let faults = [
+            FaultEvent {
+                time: 5_000,
+                page: 1,
+                kind: FaultKind::Transient { repair_after: 800 },
+            },
+            FaultEvent {
+                time: 9_000,
+                page: 3,
+                kind: FaultKind::Transient { repair_after: 200 },
+            },
+        ];
+        let a = simulate_multithreaded_faulty(&lib, &w, MtConfig::default(), &faults).unwrap();
+        let b = simulate_multithreaded_faulty(&lib, &w, MtConfig::default(), &faults).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

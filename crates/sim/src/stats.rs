@@ -23,6 +23,12 @@ pub struct FaultStats {
     /// making progress again (remap boundary + switch overhead, or
     /// re-admission from the queue).
     pub recovery_cycles: u64,
+    /// Pages repaired after a transient fault (Dead → Repairing →
+    /// Healthy, returned to the allocator's free pool).
+    pub repairs: u64,
+    /// Threads re-expanded onto repaired pages by the supervision
+    /// policy.
+    pub reexpansions: u64,
 }
 
 impl FaultStats {
@@ -41,6 +47,8 @@ impl FaultStats {
         self.threads_revoked += other.threads_revoked;
         self.iterations_deferred += other.iterations_deferred;
         self.recovery_cycles += other.recovery_cycles;
+        self.repairs += other.repairs;
+        self.reexpansions += other.reexpansions;
     }
 }
 

@@ -172,6 +172,64 @@ fn fault_curve_is_identical_across_jobs_and_traces_are_oracle_clean() {
 }
 
 #[test]
+fn recovery_curve_is_identical_across_jobs_and_traces_are_oracle_clean() {
+    // Same contract for the transient-fault path: the mttr
+    // degradation-and-recovery curve (fault-free row, no-repair row,
+    // and the descending-mttr rows) must render byte-identically at
+    // jobs=1 and jobs=4, and the traces — now carrying PageRepaired and
+    // Reexpanded events — must replay clean through the oracle.
+    let base = cgra_arch::FaultSpec::Mtbf {
+        mean: 10_000,
+        count: 2,
+        seed: 1,
+        kind: cgra_arch::FaultKind::Transient { repair_after: 500 },
+    };
+    let params = quick_params();
+    let run = |jobs: usize| {
+        let sink = Arc::new(RingSink::unbounded());
+        let tracer = Tracer::new(sink.clone());
+        let cache = LibCache::new();
+        let curve = fig9::recovery_curve_traced(
+            &Engine::with_jobs(jobs),
+            &cache,
+            4,
+            4,
+            &base,
+            &params,
+            &tracer,
+        );
+        (curve, sink.drain())
+    };
+
+    let (reference, serial_trace) = run(1);
+    assert!(reference.iter().all(|(_, _, r)| r.is_ok()), "{reference:?}");
+    let report = check_trace(&serial_trace).expect("serial recovery trace replays clean");
+    assert!(report.runs > 0, "traced runs must be recorded");
+    assert_eq!(report.aborted_runs, 0);
+    // Repairs actually fired — the revive/re-expand machinery ran.
+    let repaired = reference
+        .iter()
+        .filter_map(|(_, _, r)| r.as_ref().ok())
+        .any(|p| p.faults.repairs > 0);
+    assert!(repaired, "no page ever repaired; the curve tests nothing");
+
+    let (parallel, parallel_trace) = run(4);
+    assert_eq!(parallel, reference, "recovery curve diverges at jobs=4");
+    assert_eq!(
+        fig9::render_recovery_curve(&parallel),
+        fig9::render_recovery_curve(&reference),
+        "rendered recovery curve diverges at jobs=4"
+    );
+    let parallel_report =
+        check_trace(&parallel_trace).expect("parallel recovery trace replays clean");
+    assert_eq!(
+        parallel_report.runs, report.runs,
+        "jobs=4 must trace the same number of runs as jobs=1"
+    );
+    assert_eq!(parallel_report.events, report.events);
+}
+
+#[test]
 fn disk_cache_round_trip_is_also_identical() {
     // A profile loaded back from target/mapcache JSON must reproduce the
     // freshly computed report bytes too.

@@ -7,7 +7,7 @@
 
 use cgra_mt::arch::{CgraConfig, FaultKind, FaultSpec};
 use cgra_mt::mapper::MapOptions;
-use cgra_mt::obs::{check_trace, RingSink, Tracer};
+use cgra_mt::obs::{check_trace, RingSink, TraceEvent, Tracer};
 use cgra_mt::sim::{
     simulate_multithreaded_faulty_traced, KernelLibrary, MtConfig, Segment, ThreadSpec,
 };
@@ -77,6 +77,66 @@ fn oracle_passes_on_all_benchmark_kernels_and_a_faulty_run() {
         lib.len()
     );
     assert!(oracle.transforms > 0, "no transform was ever traced");
+}
+
+#[test]
+fn repair_counters_are_consistent_with_the_trace() {
+    // FaultStats promises its `repairs` / `reexpansions` counters count
+    // exactly the PageRepaired / Reexpanded events the run emitted —
+    // the trace is the ground truth the counters summarize. A
+    // transient-fault multithreaded run exercises the full shrink →
+    // repair → re-expand loop, then the drained event stream is both
+    // counted against the report and replayed through the oracle.
+    let sink = Arc::new(RingSink::unbounded());
+    let tracer = Tracer::new(sink.clone());
+    let cgra = CgraConfig::square(4);
+    let lib = KernelLibrary::compile_benchmarks(&cgra, &MapOptions::default())
+        .expect("benchmark suite compiles on the 4x4");
+
+    let faults = FaultSpec::Mtbf {
+        mean: 3_000,
+        count: 2,
+        seed: 9,
+        kind: FaultKind::Transient { repair_after: 500 },
+    }
+    .schedule(lib.num_pages);
+    let threads: Vec<ThreadSpec> = (0..4)
+        .map(|t| ThreadSpec {
+            segments: vec![
+                Segment::Cpu(100 * t as u64),
+                Segment::Cgra {
+                    kernel: t % lib.len(),
+                    iterations: 400,
+                },
+            ],
+        })
+        .collect();
+    let report =
+        simulate_multithreaded_faulty_traced(&lib, &threads, MtConfig::default(), &faults, &tracer)
+            .expect("transient multithreaded run completes");
+    assert!(report.faults.repairs > 0, "no page ever repaired");
+
+    let events = sink.drain();
+    let repaired = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PageRepaired { .. }))
+        .count() as u64;
+    let reexpanded = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Reexpanded { .. }))
+        .count() as u64;
+    assert_eq!(
+        repaired, report.faults.repairs,
+        "repairs counter disagrees with the PageRepaired events"
+    );
+    assert_eq!(
+        reexpanded, report.faults.reexpansions,
+        "reexpansions counter disagrees with the Reexpanded events"
+    );
+
+    let oracle = check_trace(&events).unwrap_or_else(|e| panic!("oracle violation: {e}"));
+    assert_eq!(oracle.runs, 1);
+    assert_eq!(oracle.aborted_runs, 0);
 }
 
 #[test]
